@@ -1,0 +1,242 @@
+//! Ablation benches for the design choices called out in DESIGN.md.
+//!
+//! Criterion measures wall time, but these benches also *print* the
+//! simulated-extraction effect of each ablation once at startup, which is
+//! the number the ablation is about:
+//!
+//! * congestion penalty κ (0 vs 0.5) — why naive peer looks deceptively
+//!   good without stall modelling;
+//! * host-first core dedication vs proportional-only;
+//! * block granularity vs solve time and solution quality;
+//! * dedup adjustment on/off in the solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cache_policy::{baselines, BlockConfig, Hotness, SolverConfig, UGacheSolver};
+use emb_util::zipf::powerlaw_hotness;
+use extractor::{Extractor, Mechanism};
+use gpu_memsim::{CongestionModel, SimConfig};
+use gpu_platform::{DedicationConfig, Platform};
+
+const N: usize = 100_000;
+const BYTES: usize = 512;
+
+fn keys(plat: &Platform, per_gpu: usize) -> Vec<Vec<u32>> {
+    let zipf = emb_util::ZipfSampler::new(N as u64, 1.2);
+    (0..plat.num_gpus())
+        .map(|g| {
+            let mut rng = emb_util::seed_rng(100 + g as u64);
+            let mut v: Vec<u32> = (0..per_gpu).map(|_| zipf.sample(&mut rng) as u32).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        })
+        .collect()
+}
+
+/// κ ablation: naive peer with and without stall modelling.
+fn ablation_congestion(c: &mut Criterion) {
+    let plat = Platform::server_c();
+    let h = Hotness::new(powerlaw_hotness(N, 1.2));
+    let placement = baselines::partition(&plat, &h, 2_000).unwrap();
+    let ks = keys(&plat, 30_000);
+    let run = |penalty: f64| {
+        let sim = SimConfig {
+            congestion: CongestionModel { penalty },
+            ..SimConfig::default()
+        };
+        Extractor::new(plat.clone(), sim, Mechanism::PeerNaive { seed: 1 })
+            .extract(&placement, &ks, BYTES)
+            .makespan
+            .as_secs_f64()
+    };
+    println!(
+        "[ablation_congestion] naive peer: ideal {:.3}ms vs stall-modelled {:.3}ms",
+        run(0.0) * 1e3,
+        run(0.5) * 1e3
+    );
+    c.bench_function("ablation_congestion_sim", |b| {
+        b.iter(|| black_box(run(0.5)))
+    });
+}
+
+/// Host-first dedication vs starving the host group.
+fn ablation_host_first(c: &mut Criterion) {
+    let plat = Platform::server_a();
+    let h = Hotness::new(powerlaw_hotness(N, 1.2));
+    let placement = baselines::partition(&plat, &h, 2_000).unwrap();
+    let ks = keys(&plat, 30_000);
+    let run = |host_core_fraction: f64| {
+        Extractor::new(
+            plat.clone(),
+            SimConfig::default(),
+            Mechanism::Factored {
+                dedication: DedicationConfig { host_core_fraction },
+            },
+        )
+        .extract(&placement, &ks, BYTES)
+        .makespan
+        .as_secs_f64()
+    };
+    println!(
+        "[ablation_host_first] host cores capped at 12% {:.3}ms vs 1 core {:.3}ms",
+        run(0.12) * 1e3,
+        run(1e-9) * 1e3
+    );
+    c.bench_function("ablation_host_first_sim", |b| {
+        b.iter(|| black_box(run(0.12)))
+    });
+}
+
+/// Block granularity: solve cost vs realized quality.
+fn ablation_blocks(c: &mut Criterion) {
+    let plat = Platform::server_c();
+    let solver = UGacheSolver::new(plat.clone(), DedicationConfig::default());
+    let h = Hotness::new(powerlaw_hotness(N, 1.2));
+    let caps = vec![3_000usize; 8];
+    let fem = Extractor::new(
+        plat.clone(),
+        SimConfig::default(),
+        Mechanism::Factored {
+            dedication: DedicationConfig::default(),
+        },
+    );
+    let ks = keys(&plat, 30_000);
+    let run = |max_blocks: usize| {
+        let cfg = SolverConfig {
+            blocks: BlockConfig {
+                max_blocks,
+                ..Default::default()
+            },
+            entry_bytes: BYTES,
+            accesses_per_iter: ks[0].len() as f64,
+            dedup_adjust: true,
+        };
+        let sp = solver.solve(&h, &caps, &cfg).unwrap();
+        fem.extract(&sp.placement, &ks, BYTES)
+            .makespan
+            .as_secs_f64()
+    };
+    println!(
+        "[ablation_blocks] 16 blocks {:.3}ms vs 256 blocks {:.3}ms simulated extraction",
+        run(16) * 1e3,
+        run(256) * 1e3
+    );
+    let mut g = c.benchmark_group("ablation_blocks_solve");
+    for blocks in [16usize, 64, 256] {
+        g.bench_function(format!("max_blocks_{blocks}"), |b| {
+            b.iter(|| black_box(run(blocks)))
+        });
+    }
+    g.finish();
+}
+
+/// Dedup adjustment on/off.
+fn ablation_dedup_adjust(c: &mut Criterion) {
+    let plat = Platform::server_c();
+    let solver = UGacheSolver::new(plat.clone(), DedicationConfig::default());
+    let h = Hotness::new(powerlaw_hotness(N, 1.2));
+    let caps = vec![3_000usize; 8];
+    let fem = Extractor::new(
+        plat.clone(),
+        SimConfig::default(),
+        Mechanism::Factored {
+            dedication: DedicationConfig::default(),
+        },
+    );
+    let ks = keys(&plat, 30_000);
+    let run = |dedup: bool| {
+        let mut cfg = SolverConfig::new(BYTES, ks[0].len() as f64);
+        cfg.dedup_adjust = dedup;
+        let sp = solver.solve(&h, &caps, &cfg).unwrap();
+        fem.extract(&sp.placement, &ks, BYTES)
+            .makespan
+            .as_secs_f64()
+    };
+    println!(
+        "[ablation_dedup_adjust] raw hotness {:.3}ms vs dedup-adjusted {:.3}ms",
+        run(false) * 1e3,
+        run(true) * 1e3
+    );
+    c.bench_function("ablation_dedup_adjust_solve", |b| {
+        b.iter(|| black_box(run(true)))
+    });
+}
+
+/// Local-extraction padding (§5.3) vs a barrier local phase.
+fn ablation_padding(c: &mut Criterion) {
+    let plat = Platform::server_c();
+    let h = Hotness::new(powerlaw_hotness(N, 1.2));
+    // A replication-heavy placement has plenty of local work to pad with.
+    let placement = baselines::replication(&plat, &h, 8_000);
+    let ks = keys(&plat, 30_000);
+    let run = |padding: bool| {
+        let sim = SimConfig {
+            factored_padding: padding,
+            ..SimConfig::default()
+        };
+        Extractor::new(
+            plat.clone(),
+            sim,
+            Mechanism::Factored {
+                dedication: DedicationConfig::default(),
+            },
+        )
+        .extract(&placement, &ks, BYTES)
+        .makespan
+        .as_secs_f64()
+    };
+    println!(
+        "[ablation_padding] padded {:.3}ms vs barrier-local {:.3}ms",
+        run(true) * 1e3,
+        run(false) * 1e3
+    );
+    c.bench_function("ablation_padding_sim", |b| b.iter(|| black_box(run(true))));
+}
+
+/// Online LRU (HPS-style) vs a static top-hotness cache, under a stable
+/// Zipf workload: the §7.2 argument that a static cache loses nothing.
+fn ablation_lru_vs_static(c: &mut Criterion) {
+    use emb_cache::LruCache;
+    let n = 50_000u64;
+    let cap = 2_000usize;
+    let z = emb_util::ZipfSampler::new(n, 1.2);
+    let mut rng = emb_util::seed_rng(4);
+    let mut lru = LruCache::new(cap);
+    for _ in 0..100_000 {
+        lru.access(z.sample(&mut rng) as u32);
+    }
+    let mut lru_hits = 0u64;
+    let mut static_hits = 0u64;
+    let trials = 100_000u64;
+    for _ in 0..trials {
+        let k = z.sample(&mut rng) as u32;
+        if lru.access(k).0 {
+            lru_hits += 1;
+        }
+        if (k as usize) < cap {
+            static_hits += 1;
+        }
+    }
+    println!(
+        "[ablation_lru_vs_static] LRU hit rate {:.1}% (with per-access bookkeeping) vs static top-k {:.1}% (none)",
+        lru_hits as f64 / trials as f64 * 100.0,
+        static_hits as f64 / trials as f64 * 100.0
+    );
+    let batch: Vec<u32> = (0..10_000).map(|_| z.sample(&mut rng) as u32).collect();
+    c.bench_function("ablation_lru_access_10k", |b| {
+        b.iter(|| {
+            let mut l = LruCache::new(cap);
+            black_box(l.access_batch(&batch))
+        })
+    });
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = ablation_congestion, ablation_host_first, ablation_blocks, ablation_dedup_adjust,
+        ablation_padding, ablation_lru_vs_static,
+}
+criterion_main!(ablations);

@@ -1,0 +1,218 @@
+//! Criterion benches: wall-clock cost of the kernels behind each figure.
+//!
+//! One group per table/figure; each exercises the code path that
+//! regenerates it (the printed figures themselves come from the `repro`
+//! binary). Sample sizes are small: the kernels are deterministic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ugache_bench::figures::*;
+use ugache_bench::Scenario;
+
+fn tiny() -> Scenario {
+    Scenario {
+        gnn_scale: 16_384,
+        dlr_scale: 65_536,
+        gnn_batch: 128,
+        dlr_batch: 128,
+        iters: 1,
+    }
+}
+
+fn bench_table1_breakdown(c: &mut Criterion) {
+    let s = tiny();
+    c.bench_function("table1_breakdown", |b| {
+        b.iter(|| black_box(table1::run(&s)))
+    });
+}
+
+fn bench_fig02_policy_sweep(c: &mut Criterion) {
+    let s = tiny();
+    c.bench_function("fig02_policy_sweep", |b| {
+        b.iter(|| black_box(fig02::run(&s)))
+    });
+}
+
+fn bench_fig04_mechanisms(c: &mut Criterion) {
+    let s = tiny();
+    c.bench_function("fig04_mechanisms", |b| b.iter(|| black_box(fig04::run(&s))));
+}
+
+fn bench_fig06_bandwidth(c: &mut Criterion) {
+    let s = tiny();
+    c.bench_function("fig06_bandwidth", |b| b.iter(|| black_box(fig06::run(&s))));
+}
+
+fn bench_fig09_blocks(c: &mut Criterion) {
+    let s = tiny();
+    c.bench_function("fig09_blocks", |b| b.iter(|| black_box(fig09::run(&s))));
+}
+
+fn bench_fig10_gnn_cell(c: &mut Criterion) {
+    use emb_workload::{GnnDatasetId, GnnModel};
+    use gpu_platform::Platform;
+    use ugache::apps::gnn::run_gnn_epoch;
+    use ugache::apps::GnnAppConfig;
+    let s = tiny();
+    let plat = Platform::server_a();
+    let (w, h) = s.gnn(GnnDatasetId::Pa, GnnModel::GraphSageSupervised, &plat);
+    let cfg = GnnAppConfig {
+        batch_size: s.gnn_batch,
+        measure_iters: 1,
+        ..Default::default()
+    };
+    c.bench_function("fig10_gnn_cell", |b| {
+        b.iter(|| {
+            let mut wk = w.clone();
+            black_box(run_gnn_epoch(ugache::SystemKind::UGache, &plat, &mut wk, &h, &cfg).unwrap())
+        })
+    });
+}
+
+fn bench_fig10_dlr_cell(c: &mut Criterion) {
+    use emb_workload::DlrDatasetId;
+    use gpu_platform::Platform;
+    use ugache::apps::dlr::run_dlr_iterations;
+    use ugache::apps::DlrModel;
+    let s = tiny();
+    let plat = Platform::server_a();
+    let (w, h) = s.dlr(DlrDatasetId::SynA, &plat);
+    c.bench_function("fig10_dlr_cell", |b| {
+        b.iter(|| {
+            let mut wk = w.clone();
+            black_box(
+                run_dlr_iterations(
+                    ugache::SystemKind::UGache,
+                    &plat,
+                    &mut wk,
+                    &h,
+                    DlrModel::Dlrm,
+                    s.dlr_batch,
+                    1,
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_fig12_incremental(c: &mut Criterion) {
+    let s = tiny();
+    c.bench_function("fig12_incremental", |b| {
+        b.iter(|| black_box(fig12::run(&s)))
+    });
+}
+
+fn bench_fig13_utilization(c: &mut Criterion) {
+    let s = tiny();
+    c.bench_function("fig13_utilization", |b| {
+        b.iter(|| black_box(fig13::run(&s)))
+    });
+}
+
+fn bench_fig14_access_split(c: &mut Criterion) {
+    let s = tiny();
+    c.bench_function("fig14_access_split", |b| {
+        b.iter(|| black_box(fig14::run(&s)))
+    });
+}
+
+fn bench_fig16_optimal_gap(c: &mut Criterion) {
+    let s = tiny();
+    c.bench_function("fig16_optimal_gap", |b| {
+        b.iter(|| black_box(fig16::run(&s)))
+    });
+}
+
+fn bench_fig17_refresh_timeline(c: &mut Criterion) {
+    let s = tiny();
+    c.bench_function("fig17_refresh_timeline", |b| {
+        b.iter(|| black_box(fig17::run(&s)))
+    });
+}
+
+fn bench_solver_kernel(c: &mut Criterion) {
+    use cache_policy::{Hotness, SolverConfig, UGacheSolver};
+    use emb_util::zipf::powerlaw_hotness;
+    use gpu_platform::{DedicationConfig, Platform};
+    let plat = Platform::server_c();
+    let solver = UGacheSolver::new(plat, DedicationConfig::default());
+    let h = Hotness::new(powerlaw_hotness(100_000, 1.2));
+    let mut cfg = SolverConfig::new(512, 2e4);
+    cfg.dedup_adjust = true;
+    let caps = vec![3_000usize; 8];
+    c.bench_function("solver_pattern_lp_100k_entries", |b| {
+        b.iter(|| black_box(solver.solve(&h, &caps, &cfg).unwrap()))
+    });
+}
+
+fn bench_extraction_sim_kernel(c: &mut Criterion) {
+    use cache_policy::{baselines, Hotness};
+    use emb_util::zipf::powerlaw_hotness;
+    use extractor::{Extractor, Mechanism};
+    use gpu_memsim::SimConfig;
+    use gpu_platform::{DedicationConfig, Platform};
+    let plat = Platform::server_c();
+    let h = Hotness::new(powerlaw_hotness(100_000, 1.2));
+    let placement = baselines::partition(&plat, &h, 3_000).unwrap();
+    let fem = Extractor::new(
+        plat,
+        SimConfig::default(),
+        Mechanism::Factored {
+            dedication: DedicationConfig::default(),
+        },
+    );
+    let zipf = emb_util::ZipfSampler::new(100_000, 1.2);
+    let mut rng = emb_util::seed_rng(3);
+    let keys: Vec<Vec<u32>> = (0..8)
+        .map(|_| {
+            let mut v: Vec<u32> = (0..30_000).map(|_| zipf.sample(&mut rng) as u32).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        })
+        .collect();
+    c.bench_function("extraction_sim_8gpu_30k_keys", |b| {
+        b.iter(|| black_box(fem.extract(&placement, &keys, 512)))
+    });
+}
+
+fn bench_functional_gather(c: &mut Criterion) {
+    use cache_policy::{baselines, Hotness};
+    use emb_cache::{HostTable, MultiGpuCache};
+    use emb_util::zipf::powerlaw_hotness;
+    use gpu_platform::Platform;
+    let plat = Platform::server_a();
+    let n = 50_000;
+    let dim = 32;
+    let h = Hotness::new(powerlaw_hotness(n, 1.2));
+    let placement = baselines::partition(&plat, &h, 2_000).unwrap();
+    let cache = MultiGpuCache::build(HostTable::dense(n, dim), &placement, &[2_000; 4]);
+    let keys: Vec<u32> = (0..10_000u32).map(|i| (i * 7919) % n as u32).collect();
+    let mut out = vec![0.0f32; keys.len() * dim];
+    c.bench_function("functional_gather_10k_keys", |b| {
+        b.iter(|| black_box(cache.gather(0, &keys, &mut out)))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_table1_breakdown,
+        bench_fig02_policy_sweep,
+        bench_fig04_mechanisms,
+        bench_fig06_bandwidth,
+        bench_fig09_blocks,
+        bench_fig10_gnn_cell,
+        bench_fig10_dlr_cell,
+        bench_fig12_incremental,
+        bench_fig13_utilization,
+        bench_fig14_access_split,
+        bench_fig16_optimal_gap,
+        bench_fig17_refresh_timeline,
+        bench_solver_kernel,
+        bench_extraction_sim_kernel,
+        bench_functional_gather,
+}
+criterion_main!(figures);

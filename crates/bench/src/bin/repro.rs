@@ -1,0 +1,129 @@
+//! `repro` — regenerates every table and figure of the UGache paper.
+//!
+//! Usage:
+//! ```text
+//! repro [--full] <target>...
+//! repro list
+//! repro all
+//! ```
+//! Targets: table1 table3 fig2 fig4 fig6 fig8 fig9 fig10 fig11 fig12
+//! fig13 fig14 fig15 fig16 fig17. `--full` uses larger scaled datasets
+//! (slower, smoother series); `--gnn-scale=N` / `--dlr-scale=N` override
+//! the dataset scale divisors explicitly.
+
+use ugache_bench::figures::*;
+use ugache_bench::Scenario;
+
+const TARGETS: &[&str] = &[
+    "table1", "table3", "fig2", "fig4", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "fig14", "fig15", "fig16", "fig17", "hotness",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let flag = |name: &str| -> Option<usize> {
+        args.iter()
+            .find_map(|a| a.strip_prefix(&format!("--{name}=")))
+            .and_then(|v| v.parse().ok())
+    };
+    let gnn_scale = flag("gnn-scale");
+    let dlr_scale = flag("dlr-scale");
+    let mut targets: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    if targets.is_empty() || targets.iter().any(|t| t == "list") {
+        println!("targets: {} | all", TARGETS.join(" "));
+        if targets.is_empty() {
+            println!("usage: repro [--full] <target>... (or: repro all)");
+        }
+        return;
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = TARGETS.iter().map(|s| s.to_string()).collect();
+    }
+    // fig14 and fig15 are one combined module; run it once.
+    for t in targets.iter_mut() {
+        if t == "fig15" {
+            *t = "fig14".to_string();
+        }
+    }
+    targets.dedup();
+    let mut s = if full {
+        Scenario::full()
+    } else {
+        Scenario::quick()
+    };
+    if let Some(g) = gnn_scale {
+        s.gnn_scale = g.max(1);
+    }
+    if let Some(d) = dlr_scale {
+        s.dlr_scale = d.max(1);
+    }
+
+    // fig10 and fig11 share their runs.
+    let mut fig10_cache: Option<(Vec<fig10::GnnCell>, Vec<fig10::DlrCell>)> = None;
+    for t in &targets {
+        match t.as_str() {
+            "table1" => {
+                table1::run(&s);
+            }
+            "table3" => {
+                table3::run(&s);
+            }
+            "fig2" => {
+                fig02::run(&s);
+            }
+            "fig4" => {
+                fig04::run(&s);
+            }
+            "fig6" => {
+                fig06::run(&s);
+            }
+            "fig8" => {
+                fig08::run(&s);
+            }
+            "fig9" => {
+                fig09::run(&s);
+            }
+            "fig10" => {
+                let gnn = fig10::run_gnn(&s);
+                let dlr = fig10::run_dlr(&s);
+                fig10_cache = Some((gnn, dlr));
+            }
+            "fig11" => {
+                if fig10_cache.is_none() {
+                    let gnn = fig10::run_gnn(&s);
+                    let dlr = fig10::run_dlr(&s);
+                    fig10_cache = Some((gnn, dlr));
+                }
+                let (gnn, dlr) = fig10_cache.as_ref().unwrap();
+                fig10::print_fig11(gnn, dlr);
+            }
+            "fig12" => {
+                fig12::run(&s);
+            }
+            "fig13" => {
+                fig13::run(&s);
+            }
+            "fig14" | "fig15" => {
+                fig14::run(&s);
+            }
+            "fig16" => {
+                fig16::run(&s);
+            }
+            "fig17" => {
+                fig17::run(&s);
+            }
+            "hotness" => {
+                hotness_sources::run(&s);
+            }
+            other => {
+                eprintln!("unknown target `{other}`; see `repro list`");
+                std::process::exit(2);
+            }
+        }
+    }
+}

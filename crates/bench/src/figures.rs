@@ -1,0 +1,21 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! Every module exposes `run(&Scenario)` which prints the paper-style
+//! rows and returns the structured series (so integration tests can
+//! assert the *shape* of each result: who wins, by roughly what factor,
+//! where crossovers fall).
+
+pub mod fig02;
+pub mod fig04;
+pub mod fig06;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig16;
+pub mod fig17;
+pub mod hotness_sources;
+pub mod table1;
+pub mod table3;

@@ -1,0 +1,113 @@
+//! Figure 2: hit rate and extraction time vs cache ratio, replication vs
+//! partition (vs UGache), supervised GraphSAGE on PA, Server C.
+
+use crate::scenario::{header, ms, Scenario};
+use cache_policy::baselines;
+use emb_workload::{GnnDatasetId, GnnModel};
+use gpu_platform::Platform;
+use ugache::baselines::{build_system, SystemKind};
+
+/// One cache-ratio data point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    /// Per-GPU cache ratio in percent of total entries.
+    pub ratio_pct: f64,
+    /// Replication local (= global) hit rate on the measured batches.
+    pub rep_local: f64,
+    /// Partition local hit rate.
+    pub part_local: f64,
+    /// Partition global hit rate.
+    pub part_global: f64,
+    /// Replication extraction ms (naive peer, like the motivating study).
+    pub rep_ms: f64,
+    /// Partition extraction ms.
+    pub part_ms: f64,
+    /// UGache extraction ms.
+    pub ugache_ms: f64,
+}
+
+/// Empirical hit split of a placement over measured batches.
+fn hit_rates(placement: &cache_policy::Placement, keys_per_gpu: &[Vec<u32>]) -> (f64, f64) {
+    let mut local = 0u64;
+    let mut cached = 0u64;
+    let mut total = 0u64;
+    for (gpu, keys) in keys_per_gpu.iter().enumerate() {
+        for (loc, count) in placement.split_keys(gpu, keys) {
+            total += count;
+            match loc {
+                gpu_platform::Location::Gpu(j) if j == gpu => {
+                    local += count;
+                    cached += count;
+                }
+                gpu_platform::Location::Gpu(_) => cached += count,
+                gpu_platform::Location::Host => {}
+            }
+        }
+    }
+    (
+        local as f64 / total.max(1) as f64,
+        cached as f64 / total.max(1) as f64,
+    )
+}
+
+/// Prints Figure 2 and returns the series.
+pub fn run(s: &Scenario) -> Vec<Point> {
+    header("Figure 2: hit rate & extraction time vs cache ratio (SAGE sup., PA, Server C)");
+    let plat = Platform::server_c();
+    let (mut w, hotness) = s.gnn(GnnDatasetId::Pa, GnnModel::GraphSageSupervised, &plat);
+    let e = hotness.len();
+    let mut probe = w.clone();
+    let accesses = probe.measure_accesses_per_iter(2);
+
+    println!(
+        "{:>6} {:>10} {:>11} {:>12} {:>9} {:>9} {:>10}",
+        "ratio", "rep.local", "part.local", "part.global", "rep(ms)", "part(ms)", "ugache(ms)"
+    );
+    let mut out = Vec::new();
+    for ratio_pct in [2.0, 4.0, 8.0, 12.0, 16.0, 20.0, 25.0] {
+        let cap = ((ratio_pct / 100.0) * e as f64) as usize;
+        let keys: Vec<Vec<u32>> = w.next_batch();
+
+        let rep = baselines::replication(&plat, &hotness, cap);
+        let part = baselines::partition(&plat, &hotness, cap).expect("Server C is uniform");
+        let (rep_local, _) = hit_rates(&rep, &keys);
+        let (part_local, part_global) = hit_rates(&part, &keys);
+
+        let t = |kind: SystemKind| {
+            build_system(
+                kind,
+                &plat,
+                &hotness,
+                cap,
+                w.dataset().entry_bytes,
+                accesses,
+                3,
+            )
+            .unwrap()
+            .extract(&keys)
+            .makespan
+            .as_secs_f64()
+        };
+        let p = Point {
+            ratio_pct,
+            rep_local,
+            part_local,
+            part_global,
+            rep_ms: t(SystemKind::RepU) * 1e3,
+            part_ms: t(SystemKind::PartU) * 1e3,
+            ugache_ms: t(SystemKind::UGache) * 1e3,
+        };
+        println!(
+            "{:>5}% {:>9.1}% {:>10.1}% {:>11.1}% {:>9} {:>9} {:>10}",
+            p.ratio_pct,
+            p.rep_local * 100.0,
+            p.part_local * 100.0,
+            p.part_global * 100.0,
+            ms(p.rep_ms / 1e3),
+            ms(p.part_ms / 1e3),
+            ms(p.ugache_ms / 1e3)
+        );
+        out.push(p);
+    }
+    out
+}

@@ -1,0 +1,69 @@
+//! Figure 4: extraction time under message-based, naive peer, and
+//! UGache's factored mechanisms — DLR inference, Servers A and C,
+//! Criteo-TB and the α=1.2 synthetic dataset.
+
+use crate::scenario::{header, ms, Scenario};
+use emb_workload::DlrDatasetId;
+use gpu_platform::Platform;
+use ugache::apps::dlr::dlr_cache_capacity;
+use ugache::baselines::{build_system, SystemKind};
+
+/// One (server, dataset) group of bars.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bars {
+    /// Server name.
+    pub server: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Message-based extraction ms (SOK-style).
+    pub message_ms: f64,
+    /// Naive peer extraction ms (WholeGraph-style).
+    pub peer_ms: f64,
+    /// UGache factored extraction ms.
+    pub ugache_ms: f64,
+}
+
+/// Prints Figure 4 and returns the bar groups.
+pub fn run(s: &Scenario) -> Vec<Bars> {
+    header("Figure 4: extraction mechanism comparison (DLR inference)");
+    println!(
+        "{:<16} {:<8} {:>12} {:>10} {:>12}",
+        "server", "dataset", "message(ms)", "peer(ms)", "ugache(ms)"
+    );
+    let mut out = Vec::new();
+    for plat in [Platform::server_a(), Platform::server_c()] {
+        for id in [DlrDatasetId::Cr, DlrDatasetId::SynA] {
+            let (mut w, hotness) = s.dlr(id, &plat);
+            let dataset = w.dataset().clone();
+            let cap = dlr_cache_capacity(&plat, &dataset);
+            let mut probe = w.clone();
+            let accesses = probe.measure_accesses_per_iter(2);
+            let keys = w.next_batch();
+            let t = |kind: SystemKind| {
+                build_system(kind, &plat, &hotness, cap, dataset.entry_bytes, accesses, 4)
+                    .unwrap()
+                    .extract(&keys)
+                    .makespan
+                    .as_secs_f64()
+                    * 1e3
+            };
+            let b = Bars {
+                server: plat.name.clone(),
+                dataset: dataset.name.clone(),
+                message_ms: t(SystemKind::Sok),
+                peer_ms: t(SystemKind::PartU),
+                ugache_ms: t(SystemKind::UGache),
+            };
+            println!(
+                "{:<16} {:<8} {:>12} {:>10} {:>12}",
+                b.server,
+                b.dataset,
+                ms(b.message_ms / 1e3),
+                ms(b.peer_ms / 1e3),
+                ms(b.ugache_ms / 1e3)
+            );
+            out.push(b);
+        }
+    }
+    out
+}

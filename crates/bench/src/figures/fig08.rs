@@ -1,0 +1,68 @@
+//! Figures 7/8 (illustrative): the factored-extraction core dedication.
+//!
+//! Prints, per destination GPU, how many SMs the factored mechanism
+//! dedicates to each source and what each path tolerates — the schedule
+//! sketched in the paper's Figure 8.
+
+use crate::scenario::{header, Scenario};
+use gpu_platform::{DedicationConfig, Location, Platform, Profile};
+
+/// Dedication summary for one destination GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dedication {
+    /// Platform name.
+    pub server: String,
+    /// Destination GPU.
+    pub gpu: usize,
+    /// `(source label, dedicated cores, path tolerance)` rows.
+    pub groups: Vec<(String, usize, usize)>,
+}
+
+/// Prints the dedication tables and returns them.
+pub fn run(_s: &Scenario) -> Vec<Dedication> {
+    let mut out = Vec::new();
+    for plat in [
+        Platform::server_a(),
+        Platform::server_b(),
+        Platform::server_c(),
+    ] {
+        header(&format!(
+            "Figure 8: factored core dedication on {}",
+            plat.name
+        ));
+        let prof = Profile::new(&plat, DedicationConfig::default());
+        // GPU 0 is representative; on Server B also show GPU 4 (other clique).
+        let gpus: Vec<usize> = if plat.name.contains("ServerB") {
+            vec![0, 4]
+        } else {
+            vec![0]
+        };
+        for gpu in gpus {
+            let mut groups = Vec::new();
+            println!("GPU{gpu} ({} SMs):", plat.gpus[gpu].sm_count);
+            for j in 0..plat.num_gpus() {
+                if j == gpu {
+                    continue;
+                }
+                let cores = prof.cores[gpu][j];
+                if cores == 0 {
+                    continue;
+                }
+                let tol = plat.path(gpu, Location::Gpu(j)).tolerance();
+                println!("  ← G{j}: {cores:>3} cores (link tolerates ~{tol})");
+                groups.push((format!("G{j}"), cores, tol));
+            }
+            let host_cores = prof.cores[gpu][prof.host_index()];
+            let host_tol = plat.path(gpu, Location::Host).tolerance();
+            println!("  ← Host: {host_cores:>2} cores (PCIe tolerates ~{host_tol})");
+            println!("  local extraction pads all cores at low priority");
+            groups.push(("Host".to_string(), host_cores, host_tol));
+            out.push(Dedication {
+                server: plat.name.clone(),
+                gpu,
+                groups,
+            });
+        }
+    }
+    out
+}

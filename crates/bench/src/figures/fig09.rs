@@ -1,0 +1,76 @@
+//! Figure 9: log-scale hotness blocking with coarse/fine size caps.
+
+use crate::scenario::{header, Scenario};
+use cache_policy::{build_blocks, BlockConfig};
+use emb_workload::GnnDatasetId;
+use gpu_platform::Platform;
+
+/// Per-hotness-level blocking statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelRow {
+    /// Log2 hotness level (0 = hottest).
+    pub level: u32,
+    /// Entries at this level.
+    pub entries: usize,
+    /// Blocks the level was split into.
+    pub blocks: usize,
+    /// Largest block at this level.
+    pub max_block: usize,
+}
+
+/// Prints Figure 9 and returns per-level rows.
+pub fn run(s: &Scenario) -> Vec<LevelRow> {
+    header("Figure 9: hotness-block batching (PA profile, log-scale levels)");
+    let plat = Platform::server_c();
+    let (_, hotness) = s.gnn(
+        GnnDatasetId::Pa,
+        emb_workload::GnnModel::GraphSageSupervised,
+        &plat,
+    );
+    let cfg = BlockConfig {
+        min_splits: plat.num_gpus(),
+        max_blocks: 4096,
+        ..Default::default()
+    };
+    let blocks = build_blocks(&hotness, &cfg);
+
+    let mut rows: Vec<LevelRow> = Vec::new();
+    for b in &blocks {
+        match rows.iter_mut().find(|r| r.level == b.level) {
+            Some(r) => {
+                r.entries += b.size();
+                r.blocks += 1;
+                r.max_block = r.max_block.max(b.size());
+            }
+            None => rows.push(LevelRow {
+                level: b.level,
+                entries: b.size(),
+                blocks: 1,
+                max_block: b.size(),
+            }),
+        }
+    }
+    let coarse_cap = ((cfg.coarse_cap * hotness.len() as f64).ceil()) as usize;
+    println!(
+        "coarse cap: {coarse_cap} entries/block; fine: ≥{} blocks/level",
+        cfg.min_splits
+    );
+    println!(
+        "{:>6} {:>10} {:>8} {:>10}",
+        "level", "entries", "blocks", "max.block"
+    );
+    for r in rows.iter().take(14) {
+        println!(
+            "{:>6} {:>10} {:>8} {:>10}",
+            r.level, r.entries, r.blocks, r.max_block
+        );
+    }
+    if rows.len() > 14 {
+        println!(
+            "  ... {} more levels, {} blocks total",
+            rows.len() - 14,
+            blocks.len()
+        );
+    }
+    rows
+}

@@ -1,0 +1,231 @@
+//! Figures 10 and 11: end-to-end times and their embedding-extraction
+//! component, for every (server × model × dataset × system) cell.
+//!
+//! Figure 10 reports GNN epoch seconds and DLR iteration milliseconds;
+//! Figure 11 isolates the extraction component (adding RepU/PartU to the
+//! DLR comparison, as the paper does).
+
+use crate::scenario::{header, Scenario};
+use emb_workload::{DlrDatasetId, GnnDatasetId, GnnModel};
+use ugache::apps::dlr::run_dlr_iterations;
+use ugache::apps::gnn::run_gnn_epoch;
+use ugache::apps::{DlrModel, GnnAppConfig};
+use ugache::SystemKind;
+
+/// One GNN cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GnnCell {
+    /// Server name.
+    pub server: String,
+    /// GNN model name.
+    pub model: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// System name.
+    pub system: String,
+    /// Epoch seconds (`None` when the system cannot launch).
+    pub epoch_secs: Option<f64>,
+    /// Extraction seconds per iteration.
+    pub extract_per_iter_secs: Option<f64>,
+}
+
+/// One DLR cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DlrCell {
+    /// Server name.
+    pub server: String,
+    /// DLR model name.
+    pub model: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// System name.
+    pub system: String,
+    /// Iteration milliseconds.
+    pub iter_ms: f64,
+    /// Extraction milliseconds per iteration.
+    pub extract_ms: f64,
+}
+
+const GNN_SYSTEMS: [SystemKind; 3] = [SystemKind::GnnLab, SystemKind::PartU, SystemKind::UGache];
+const DLR_SYSTEMS: [SystemKind; 5] = [
+    SystemKind::Hps,
+    SystemKind::Sok,
+    SystemKind::RepU,
+    SystemKind::PartU,
+    SystemKind::UGache,
+];
+
+/// Runs the GNN half of Figure 10.
+pub fn run_gnn(s: &Scenario) -> Vec<GnnCell> {
+    header("Figure 10 (GNN): end-to-end epoch milliseconds (scaled datasets)");
+    println!(
+        "{:<16} {:<12} {:<5} {:>10} {:>10} {:>10}",
+        "server", "model", "data", "GNNLab", "PartU", "UGache"
+    );
+    let mut cells = Vec::new();
+    let cfg = GnnAppConfig {
+        batch_size: s.gnn_batch,
+        measure_iters: s.iters,
+        ..Default::default()
+    };
+    for plat in Scenario::servers() {
+        for model in GnnModel::ALL {
+            for ds in GnnDatasetId::ALL {
+                let (w, hotness) = s.gnn(ds, model, &plat);
+                let mut row: Vec<Option<(f64, f64)>> = Vec::new();
+                for kind in GNN_SYSTEMS {
+                    let mut wk = w.clone();
+                    match run_gnn_epoch(kind, &plat, &mut wk, &hotness, &cfg) {
+                        Ok(r) => {
+                            row.push(Some((r.epoch_secs, r.extract_per_iter_secs)));
+                            cells.push(GnnCell {
+                                server: plat.name.clone(),
+                                model: model.name().to_string(),
+                                dataset: ds.name().to_string(),
+                                system: kind.name().to_string(),
+                                epoch_secs: Some(r.epoch_secs),
+                                extract_per_iter_secs: Some(r.extract_per_iter_secs),
+                            });
+                        }
+                        Err(_) => {
+                            row.push(None);
+                            cells.push(GnnCell {
+                                server: plat.name.clone(),
+                                model: model.name().to_string(),
+                                dataset: ds.name().to_string(),
+                                system: kind.name().to_string(),
+                                epoch_secs: None,
+                                extract_per_iter_secs: None,
+                            });
+                        }
+                    }
+                }
+                let cell = |v: &Option<(f64, f64)>| match v {
+                    Some((e, _)) => format!("{:.3}", e * 1e3),
+                    None => "n/a".to_string(),
+                };
+                println!(
+                    "{:<16} {:<12} {:<5} {:>10} {:>10} {:>10}",
+                    plat.name,
+                    model.name(),
+                    ds.name(),
+                    cell(&row[0]),
+                    cell(&row[1]),
+                    cell(&row[2])
+                );
+            }
+        }
+    }
+    cells
+}
+
+/// Runs the DLR half of Figure 10 (and the data Figure 11 needs).
+pub fn run_dlr(s: &Scenario) -> Vec<DlrCell> {
+    header("Figure 10 (DLR): end-to-end iteration milliseconds");
+    println!(
+        "{:<16} {:<6} {:<6} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "server", "model", "data", "HPS", "SOK", "RepU", "PartU", "UGache"
+    );
+    let mut cells = Vec::new();
+    for plat in Scenario::servers() {
+        for ds in DlrDatasetId::ALL {
+            let (w, hotness) = s.dlr(ds, &plat);
+            for model in DlrModel::ALL {
+                let mut printed: Vec<String> = Vec::new();
+                for kind in DLR_SYSTEMS {
+                    let mut wk = w.clone();
+                    let r = run_dlr_iterations(
+                        kind,
+                        &plat,
+                        &mut wk,
+                        &hotness,
+                        model,
+                        s.dlr_batch,
+                        s.iters,
+                    )
+                    .expect("all DLR systems launch");
+                    printed.push(format!("{:.3}", r.iteration_secs * 1e3));
+                    cells.push(DlrCell {
+                        server: plat.name.clone(),
+                        model: model.name().to_string(),
+                        dataset: ds.name().to_string(),
+                        system: kind.name().to_string(),
+                        iter_ms: r.iteration_secs * 1e3,
+                        extract_ms: r.extract_secs * 1e3,
+                    });
+                }
+                println!(
+                    "{:<16} {:<6} {:<6} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                    plat.name,
+                    model.name(),
+                    ds.name(),
+                    printed[0],
+                    printed[1],
+                    printed[2],
+                    printed[3],
+                    printed[4]
+                );
+            }
+        }
+    }
+    cells
+}
+
+/// Prints Figure 11 from the cells produced by [`run_gnn`]/[`run_dlr`].
+pub fn print_fig11(gnn: &[GnnCell], dlr: &[DlrCell]) {
+    header("Figure 11 (GNN): embedding extraction ms per iteration");
+    println!(
+        "{:<16} {:<12} {:<5} {:>10} {:>10} {:>10}",
+        "server", "model", "data", "GNNLab", "PartU", "UGache"
+    );
+    let mut keys: Vec<(String, String, String)> = gnn
+        .iter()
+        .map(|c| (c.server.clone(), c.model.clone(), c.dataset.clone()))
+        .collect();
+    keys.dedup();
+    for (srv, model, ds) in keys {
+        let get = |sys: &str| {
+            gnn.iter()
+                .find(|c| c.server == srv && c.model == model && c.dataset == ds && c.system == sys)
+                .and_then(|c| c.extract_per_iter_secs)
+                .map_or("n/a".to_string(), |x| format!("{:.3}", x * 1e3))
+        };
+        println!(
+            "{:<16} {:<12} {:<5} {:>10} {:>10} {:>10}",
+            srv,
+            model,
+            ds,
+            get("GNNLab"),
+            get("PartU"),
+            get("UGache")
+        );
+    }
+
+    header("Figure 11 (DLR): embedding extraction ms per iteration");
+    println!(
+        "{:<16} {:<6} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "server", "data", "HPS", "SOK", "RepU", "PartU", "UGache"
+    );
+    let mut dkeys: Vec<(String, String)> = dlr
+        .iter()
+        .map(|c| (c.server.clone(), c.dataset.clone()))
+        .collect();
+    dkeys.dedup();
+    for (srv, ds) in dkeys {
+        let get = |sys: &str| {
+            dlr.iter()
+                .find(|c| c.server == srv && c.dataset == ds && c.system == sys)
+                .map_or("n/a".to_string(), |c| format!("{:.3}", c.extract_ms))
+        };
+        println!(
+            "{:<16} {:<6} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            srv,
+            ds,
+            get("HPS"),
+            get("SOK"),
+            get("RepU"),
+            get("PartU"),
+            get("UGache")
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Figure 12: extraction time as UGache's techniques are applied
+//! incrementally (RepU → PartU → +Policy → UGache), vs cache ratio,
+//! supervised GraphSAGE on PA and CF, Server C.
+
+use crate::scenario::{header, Scenario};
+use cache_policy::{SolverConfig, UGacheSolver};
+use emb_workload::{GnnDatasetId, GnnModel};
+use extractor::{Extractor, Mechanism};
+use gpu_memsim::SimConfig;
+use gpu_platform::{DedicationConfig, Platform};
+use ugache::baselines::{build_system, SystemKind};
+
+/// One (dataset, ratio) data point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    /// Dataset name.
+    pub dataset: String,
+    /// Cache ratio per GPU (percent of entries).
+    pub ratio_pct: f64,
+    /// Replication + naive peer.
+    pub repu_ms: f64,
+    /// Partition + naive peer.
+    pub partu_ms: f64,
+    /// UGache policy + naive peer ("+Policy").
+    pub policy_ms: f64,
+    /// UGache policy + factored extraction (full UGache).
+    pub ugache_ms: f64,
+}
+
+/// Prints Figure 12 and returns the series.
+pub fn run(s: &Scenario) -> Vec<Point> {
+    header("Figure 12: techniques applied incrementally (SAGE sup., Server C)");
+    println!(
+        "{:<5} {:>6} {:>10} {:>10} {:>11} {:>11}",
+        "data", "ratio", "RepU(ms)", "PartU(ms)", "+Policy(ms)", "UGache(ms)"
+    );
+    let plat = Platform::server_c();
+    let mut out = Vec::new();
+    for ds in [GnnDatasetId::Pa, GnnDatasetId::Cf] {
+        let (mut w, hotness) = s.gnn(ds, GnnModel::GraphSageSupervised, &plat);
+        let e = hotness.len();
+        let entry_bytes = w.dataset().entry_bytes;
+        let mut probe = w.clone();
+        let accesses = probe.measure_accesses_per_iter(2);
+        for ratio_pct in [2.0, 5.0, 8.0, 12.0, 18.0, 25.0] {
+            let cap = ((ratio_pct / 100.0) * e as f64) as usize;
+            let keys = w.next_batch();
+            let t = |kind: SystemKind| {
+                build_system(kind, &plat, &hotness, cap, entry_bytes, accesses, 5)
+                    .unwrap()
+                    .extract(&keys)
+                    .makespan
+                    .as_secs_f64()
+                    * 1e3
+            };
+            // "+Policy": the UGache placement extracted with naive peer.
+            let solver = UGacheSolver::new(plat.clone(), DedicationConfig::default());
+            let mut scfg = SolverConfig::new(entry_bytes, accesses);
+            scfg.dedup_adjust = true;
+            let solved = solver
+                .solve(&hotness, &vec![cap; plat.num_gpus()], &scfg)
+                .unwrap();
+            let naive = Extractor::new(
+                plat.clone(),
+                SimConfig::default(),
+                Mechanism::PeerNaive { seed: 5 },
+            );
+            let policy_ms = naive
+                .extract(&solved.placement, &keys, entry_bytes)
+                .makespan
+                .as_secs_f64()
+                * 1e3;
+
+            let p = Point {
+                dataset: ds.name().to_string(),
+                ratio_pct,
+                repu_ms: t(SystemKind::RepU),
+                partu_ms: t(SystemKind::PartU),
+                policy_ms,
+                ugache_ms: t(SystemKind::UGache),
+            };
+            println!(
+                "{:<5} {:>5}% {:>10.3} {:>10.3} {:>11.3} {:>11.3}",
+                p.dataset, p.ratio_pct, p.repu_ms, p.partu_ms, p.policy_ms, p.ugache_ms
+            );
+            out.push(p);
+        }
+    }
+    out
+}

@@ -1,0 +1,109 @@
+//! Figures 14 and 15: where accesses are served from (local GPU / remote
+//! GPU / host) and how long each source takes, vs cache ratio —
+//! PartU / UGache / RepU on PA (high skew) and CF (low skew), Server C.
+//!
+//! As in the paper's Figure 15, all three policies use UGache's factored
+//! extraction so the comparison isolates the *policy*.
+
+use crate::scenario::{header, Scenario};
+use cache_policy::Placement;
+use emb_workload::{GnnDatasetId, GnnModel};
+use extractor::{Extractor, Mechanism};
+use gpu_memsim::SimConfig;
+use gpu_platform::{DedicationConfig, Location, Platform};
+use ugache::baselines::{build_system, SystemKind};
+
+/// One (dataset, ratio, system) measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Split {
+    /// Dataset name.
+    pub dataset: String,
+    /// Cache ratio per GPU (percent).
+    pub ratio_pct: f64,
+    /// System name.
+    pub system: String,
+    /// Fraction of keys served locally.
+    pub local: f64,
+    /// Fraction served from remote GPUs.
+    pub remote: f64,
+    /// Fraction served from host.
+    pub host: f64,
+    /// Extraction ms under factored extraction.
+    pub extract_ms: f64,
+}
+
+fn batch_split(placement: &Placement, keys_per_gpu: &[Vec<u32>]) -> (f64, f64, f64) {
+    let (mut local, mut remote, mut host, mut total) = (0u64, 0u64, 0u64, 0u64);
+    for (gpu, keys) in keys_per_gpu.iter().enumerate() {
+        for (loc, c) in placement.split_keys(gpu, keys) {
+            total += c;
+            match loc {
+                Location::Gpu(j) if j == gpu => local += c,
+                Location::Gpu(_) => remote += c,
+                Location::Host => host += c,
+            }
+        }
+    }
+    let t = total.max(1) as f64;
+    (local as f64 / t, remote as f64 / t, host as f64 / t)
+}
+
+/// Prints Figures 14/15 and returns all measurements.
+pub fn run(s: &Scenario) -> Vec<Split> {
+    header("Figures 14/15: access split and per-source time vs cache ratio (Server C)");
+    println!(
+        "{:<5} {:>6} {:<7} {:>8} {:>8} {:>8} {:>12}",
+        "data", "ratio", "system", "local", "remote", "host", "extract(ms)"
+    );
+    let plat = Platform::server_c();
+    let fem = Extractor::new(
+        plat.clone(),
+        SimConfig::default(),
+        Mechanism::Factored {
+            dedication: DedicationConfig::default(),
+        },
+    );
+    let mut out = Vec::new();
+    for ds in [GnnDatasetId::Pa, GnnDatasetId::Cf] {
+        let (mut w, hotness) = s.gnn(ds, GnnModel::GraphSageSupervised, &plat);
+        let e = hotness.len();
+        let entry_bytes = w.dataset().entry_bytes;
+        let mut probe = w.clone();
+        let accesses = probe.measure_accesses_per_iter(2);
+        for ratio_pct in [2.0, 4.0, 6.0, 8.0, 10.0, 12.0] {
+            let cap = ((ratio_pct / 100.0) * e as f64) as usize;
+            let keys = w.next_batch();
+            for kind in [SystemKind::PartU, SystemKind::UGache, SystemKind::RepU] {
+                let sys =
+                    build_system(kind, &plat, &hotness, cap, entry_bytes, accesses, 7).unwrap();
+                let (local, remote, host) = batch_split(&sys.placement, &keys);
+                let extract_ms = fem
+                    .extract(&sys.placement, &keys, entry_bytes)
+                    .makespan
+                    .as_secs_f64()
+                    * 1e3;
+                let sp = Split {
+                    dataset: ds.name().to_string(),
+                    ratio_pct,
+                    system: kind.name().to_string(),
+                    local,
+                    remote,
+                    host,
+                    extract_ms,
+                };
+                println!(
+                    "{:<5} {:>5}% {:<7} {:>7.1}% {:>7.1}% {:>7.1}% {:>12.3}",
+                    sp.dataset,
+                    sp.ratio_pct,
+                    sp.system,
+                    sp.local * 100.0,
+                    sp.remote * 100.0,
+                    sp.host * 100.0,
+                    sp.extract_ms
+                );
+                out.push(sp);
+            }
+        }
+    }
+    out
+}

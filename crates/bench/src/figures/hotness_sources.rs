@@ -1,0 +1,82 @@
+//! Hotness-source study (§6.1): UGache lets applications supply hotness
+//! from whichever semantic source they have — a pre-sampling profile
+//! (GNNLab-style), graph degree (PaGraph-style), or online counting.
+//! This target quantifies what each source costs relative to an oracle.
+
+use crate::scenario::{header, Scenario};
+use cache_policy::Hotness;
+use emb_workload::{GnnDatasetId, GnnModel};
+use gpu_platform::Platform;
+use ugache::baselines::{build_system, SystemKind};
+
+/// Result for one hotness source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceRow {
+    /// Source label.
+    pub source: String,
+    /// Measured extraction ms with a placement solved from this source.
+    pub extract_ms: f64,
+    /// Top-1000 overlap with the long-profile oracle (0–1).
+    pub oracle_overlap: f64,
+}
+
+/// Prints the study and returns its rows.
+pub fn run(s: &Scenario) -> Vec<SourceRow> {
+    header("Hotness sources (§6.1): pre-sampling vs degree vs short profile");
+    let plat = Platform::server_c();
+    let (w, _) = s.gnn(GnnDatasetId::Pa, GnnModel::GraphSageSupervised, &plat);
+    let entry_bytes = w.dataset().entry_bytes;
+    let cap = ugache::apps::gnn_cache_capacity(&plat, w.dataset(), SystemKind::UGache);
+
+    // Oracle: a long profiling run.
+    let mut oracle_w = w.clone();
+    let oracle = oracle_w.profile_hotness(8);
+    let top_oracle: std::collections::HashSet<u32> =
+        oracle.ranking().into_iter().take(1000).collect();
+
+    let mut sources: Vec<(String, Hotness)> = Vec::new();
+    let mut short_w = w.clone();
+    sources.push(("pre-sampling (1 iter)".into(), short_w.profile_hotness(1)));
+    let mut med_w = w.clone();
+    sources.push(("pre-sampling (4 iters)".into(), med_w.profile_hotness(4)));
+    sources.push(("vertex degree".into(), w.degree_hotness()));
+    sources.push(("oracle (8 iters)".into(), oracle.clone()));
+
+    let mut probe = w.clone();
+    let accesses = probe.measure_accesses_per_iter(2);
+    let mut eval_w = w.clone();
+    // A common evaluation batch, unseen by any profile.
+    for _ in 0..10 {
+        let _ = eval_w.next_batch();
+    }
+    let keys = eval_w.next_batch();
+
+    println!(
+        "{:<24} {:>12} {:>16}",
+        "source", "extract(ms)", "top-1k overlap"
+    );
+    let mut out = Vec::new();
+    for (label, hotness) in sources {
+        let sys = build_system(
+            SystemKind::UGache,
+            &plat,
+            &hotness,
+            cap,
+            entry_bytes,
+            accesses,
+            8,
+        )
+        .expect("ugache builds");
+        let extract_ms = sys.extract(&keys).makespan.as_secs_f64() * 1e3;
+        let top: std::collections::HashSet<u32> =
+            hotness.ranking().into_iter().take(1000).collect();
+        let overlap = top.intersection(&top_oracle).count() as f64 / 1000.0;
+        println!("{label:<24} {extract_ms:>12.3} {:>15.1}%", overlap * 100.0);
+        out.push(SourceRow {
+            source: label,
+            extract_ms,
+            oracle_overlap: overlap,
+        });
+    }
+    out
+}

@@ -1,0 +1,138 @@
+//! Table 1: single-GPU runtime/data breakdown for a typical EmbDL app.
+//!
+//! Unsupervised GraphSAGE training on MAG, one A100-80GB: how much of the
+//! end-to-end time the embedding layer takes with and without a cache.
+
+use crate::scenario::{header, ms, Scenario, SEED};
+use cache_policy::baselines;
+use emb_util::fmt;
+use emb_workload::{gnn_preset, GnnDatasetId, GnnModel, GnnWorkload};
+use extractor::{Extractor, Mechanism};
+use gpu_memsim::SimConfig;
+use gpu_platform::{DedicationConfig, GpuSpec, Platform};
+use ugache::apps::MlpCostModel;
+
+/// The breakdown the table reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Breakdown {
+    /// Dense-layer ms per iteration.
+    pub mlp_ms: f64,
+    /// Embedding extraction ms per iteration, no cache.
+    pub emt_ms: f64,
+    /// Embedding extraction ms per iteration, with cache.
+    pub emt_cached_ms: f64,
+    /// Embedding volume bytes.
+    pub volume_e: u64,
+    /// Bytes held in the cache.
+    pub cached_bytes: u64,
+    /// GPU-memory share of embedding reads with the cache on.
+    pub gmem_ratio: f64,
+}
+
+/// Prints Table 1 and returns the breakdown.
+pub fn run(s: &Scenario) -> Breakdown {
+    header("Table 1: single-GPU breakdown (unsup. GraphSAGE, MAG, 1×A100-80GB)");
+    let platform = Platform::single(GpuSpec::a100(80), 1 << 40);
+    let dataset = gnn_preset(GnnDatasetId::Mag, s.gnn_scale, SEED);
+    let entry_bytes = dataset.entry_bytes;
+    let volume_e = dataset.volume_bytes();
+    let mut w = GnnWorkload::new(
+        dataset.clone(),
+        GnnModel::GraphSageUnsupervised,
+        s.gnn_batch,
+        1,
+        SEED,
+    );
+    let hotness = w.profile_hotness(2);
+
+    // Cache capacity: the paper's single-GPU cache (GNNLab-style
+    // replication) under the scaled memory budget.
+    let cap = ugache::apps::gnn_cache_capacity(&platform, &dataset, ugache::SystemKind::GnnLab);
+    let cap = cap.min(dataset.num_entries());
+    let cached = baselines::replication(&platform, &hotness, cap);
+    let uncached = baselines::cpu_only(&platform, dataset.num_entries());
+
+    let fem = Extractor::new(
+        platform.clone(),
+        SimConfig::default(),
+        Mechanism::Factored {
+            dedication: DedicationConfig::default(),
+        },
+    );
+
+    let mut emt = 0.0;
+    let mut emt_cached = 0.0;
+    let mut gmem_bytes = 0.0;
+    let mut total_bytes = 0.0;
+    let mut keys_mean = 0.0;
+    for _ in 0..s.iters {
+        let keys = w.next_batch();
+        keys_mean += keys[0].len() as f64 / s.iters as f64;
+        emt += fem
+            .extract(&uncached, &keys, entry_bytes)
+            .makespan
+            .as_secs_f64();
+        let out = fem.extract(&cached, &keys, entry_bytes);
+        emt_cached += out.makespan.as_secs_f64();
+        let g0 = &out.per_gpu[0];
+        let host = g0.bytes_from(gpu_platform::Location::Host);
+        let all: f64 = g0.per_src.iter().map(|u| u.bytes).sum();
+        gmem_bytes += all - host;
+        total_bytes += all;
+    }
+    let n = s.iters as f64;
+    let mlp = MlpCostModel::default().gnn_train_secs(
+        &platform.gpus[0],
+        keys_mean as usize,
+        dataset.dim,
+        GnnModel::GraphSageUnsupervised.mlp_layers(),
+    );
+
+    let b = Breakdown {
+        mlp_ms: mlp * 1e3,
+        emt_ms: emt / n * 1e3,
+        emt_cached_ms: emt_cached / n * 1e3,
+        volume_e,
+        cached_bytes: cap as u64 * entry_bytes as u64,
+        gmem_ratio: if total_bytes > 0.0 {
+            gmem_bytes / total_bytes
+        } else {
+            0.0
+        },
+    };
+
+    println!(
+        "{:<26} {:>10} {:>16} {:>16}",
+        "", "MLP", "EMT (w/ $)", "Total (w/ $)"
+    );
+    println!(
+        "{:<26} {:>10} {:>16} {:>16}",
+        "Execution Time (ms)",
+        ms(b.mlp_ms / 1e3),
+        format!("{} ({})", ms(b.emt_ms / 1e3), ms(b.emt_cached_ms / 1e3)),
+        format!(
+            "{} ({})",
+            ms((b.mlp_ms + b.emt_ms) / 1e3),
+            ms((b.mlp_ms + b.emt_cached_ms) / 1e3)
+        )
+    );
+    println!(
+        "{:<26} {:>10} {:>16} {:>16}",
+        "Data Size",
+        "~0",
+        format!(
+            "{} ({} in $)",
+            fmt::bytes(b.volume_e),
+            fmt::bytes(b.cached_bytes)
+        ),
+        fmt::bytes(b.volume_e)
+    );
+    println!(
+        "{:<26} {:>10} {:>16} {:>16}",
+        "Access Gmem Ratio",
+        "100%",
+        format!("0% ({})", fmt::pct(b.gmem_ratio)),
+        format!("0% ({})", fmt::pct(b.gmem_ratio))
+    );
+    b
+}

@@ -1,0 +1,82 @@
+//! Table 3: dataset statistics at reproduction scale.
+
+use crate::scenario::{header, Scenario, SEED};
+use emb_util::fmt;
+use emb_workload::{dlr_preset, gnn_preset, DlrDatasetId, GnnDatasetId};
+
+/// One row of the table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Dataset short name.
+    pub name: String,
+    /// Vertices (GNN) or entries (DLR).
+    pub entities: u64,
+    /// Edges (GNN) or tables (DLR).
+    pub secondary: u64,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Embedding volume in bytes.
+    pub volume_e: u64,
+    /// Topology volume in bytes (GNN only).
+    pub volume_g: Option<u64>,
+}
+
+/// Prints Table 3 and returns its rows.
+pub fn run(s: &Scenario) -> Vec<Row> {
+    header(&format!(
+        "Table 3: datasets (GNN scale 1/{}, DLR scale 1/{})",
+        s.gnn_scale, s.dlr_scale
+    ));
+    let mut rows = Vec::new();
+    println!(
+        "{:<8} {:>12} {:>14} {:>6} {:>10} {:>10}",
+        "Dataset", "#Vertex", "#Edge", "Dim", "VolumeG", "VolumeE"
+    );
+    for id in GnnDatasetId::ALL {
+        let d = gnn_preset(id, s.gnn_scale, SEED);
+        let row = Row {
+            name: d.name.clone(),
+            entities: d.num_entries() as u64,
+            secondary: d.graph.num_edges(),
+            dim: d.dim,
+            volume_e: d.volume_bytes(),
+            volume_g: Some(d.graph.topology_bytes()),
+        };
+        println!(
+            "{:<8} {:>12} {:>14} {:>6} {:>10} {:>10}",
+            row.name,
+            fmt::count(row.entities),
+            fmt::count(row.secondary),
+            row.dim,
+            fmt::bytes(row.volume_g.unwrap()),
+            fmt::bytes(row.volume_e)
+        );
+        rows.push(row);
+    }
+    println!(
+        "{:<8} {:>12} {:>14} {:>6} {:>10} {:>10}",
+        "Dataset", "#Entry", "#Table", "Dim", "Skew", "VolumeE"
+    );
+    for id in DlrDatasetId::ALL {
+        let d = dlr_preset(id, s.dlr_scale);
+        let row = Row {
+            name: d.name.clone(),
+            entities: d.num_entries() as u64,
+            secondary: d.num_tables() as u64,
+            dim: d.dim,
+            volume_e: d.volume_bytes(),
+            volume_g: None,
+        };
+        println!(
+            "{:<8} {:>12} {:>14} {:>6} {:>10} {:>10}",
+            row.name,
+            fmt::count(row.entities),
+            row.secondary,
+            row.dim,
+            format!("{:.1}", d.alpha),
+            fmt::bytes(row.volume_e)
+        );
+        rows.push(row);
+    }
+    rows
+}

@@ -1,0 +1,13 @@
+//! Benchmark harness for the UGache reproduction.
+//!
+//! The [`figures`] modules regenerate every table and figure of the
+//! paper's evaluation (§8) as printed rows/series; the `repro` binary
+//! dispatches to them (`repro list` shows the menu). Criterion benches
+//! under `benches/` measure the wall-clock cost of the implementation's
+//! own kernels (solver, extraction simulation, gathers) and the ablation
+//! sweeps called out in `DESIGN.md`.
+
+pub mod figures;
+pub mod scenario;
+
+pub use scenario::Scenario;

@@ -1,0 +1,170 @@
+//! Per-GPU cache storage.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One GPU's embedding-cache arena: `capacity × dim` f32 slots plus the
+/// entry→slot index. Stands in for a GPU HBM allocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuArena {
+    dim: usize,
+    capacity: usize,
+    data: Vec<f32>,
+    /// entry id → slot index.
+    slots: HashMap<u32, u32>,
+    /// Free slot indices (reverse order so allocation is LIFO).
+    free: Vec<u32>,
+}
+
+impl GpuArena {
+    /// Creates an arena with room for `capacity` entries of `dim` floats.
+    pub fn new(capacity: usize, dim: usize) -> Self {
+        GpuArena {
+            dim,
+            capacity,
+            data: vec![0.0; capacity * dim],
+            slots: HashMap::with_capacity(capacity),
+            free: (0..capacity as u32).rev().collect(),
+        }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of entries currently cached.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the arena holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Slot offset of a cached entry.
+    pub fn offset_of(&self, entry: u32) -> Option<u32> {
+        self.slots.get(&entry).copied()
+    }
+
+    /// Inserts an entry's values; returns its slot offset.
+    ///
+    /// Re-inserting an existing entry overwrites it in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena is full or `values.len() != dim`.
+    pub fn insert(&mut self, entry: u32, values: &[f32]) -> u32 {
+        assert_eq!(values.len(), self.dim, "value dim mismatch");
+        let slot = match self.slots.get(&entry) {
+            Some(&s) => s,
+            None => {
+                let s = self
+                    .free
+                    .pop()
+                    .unwrap_or_else(|| panic!("arena full ({} entries)", self.capacity));
+                self.slots.insert(entry, s);
+                s
+            }
+        };
+        let base = slot as usize * self.dim;
+        self.data[base..base + self.dim].copy_from_slice(values);
+        slot
+    }
+
+    /// Evicts an entry; returns whether it was present.
+    pub fn evict(&mut self, entry: u32) -> bool {
+        match self.slots.remove(&entry) {
+            Some(s) => {
+                self.free.push(s);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Reads the values at a slot offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset is out of range.
+    pub fn read_slot(&self, offset: u32, out: &mut [f32]) {
+        assert!(
+            (offset as usize) < self.capacity,
+            "slot {offset} out of range"
+        );
+        assert_eq!(out.len(), self.dim);
+        let base = offset as usize * self.dim;
+        out.copy_from_slice(&self.data[base..base + self.dim]);
+    }
+
+    /// Removes everything.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free = (0..self.capacity as u32).rev().collect();
+    }
+
+    /// Iterates over cached entry ids.
+    pub fn entries(&self) -> impl Iterator<Item = u32> + '_ {
+        self.slots.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_read_roundtrip() {
+        let mut a = GpuArena::new(4, 3);
+        let off = a.insert(7, &[1.0, 2.0, 3.0]);
+        let mut out = [0.0; 3];
+        a.read_slot(off, &mut out);
+        assert_eq!(out, [1.0, 2.0, 3.0]);
+        assert_eq!(a.offset_of(7), Some(off));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_overwrites_in_place() {
+        let mut a = GpuArena::new(2, 2);
+        let o1 = a.insert(1, &[1.0, 1.0]);
+        let o2 = a.insert(1, &[2.0, 2.0]);
+        assert_eq!(o1, o2);
+        assert_eq!(a.len(), 1);
+        let mut out = [0.0; 2];
+        a.read_slot(o2, &mut out);
+        assert_eq!(out, [2.0, 2.0]);
+    }
+
+    #[test]
+    fn evict_frees_slot_for_reuse() {
+        let mut a = GpuArena::new(1, 1);
+        a.insert(5, &[5.0]);
+        assert!(a.evict(5));
+        assert!(!a.evict(5));
+        // Capacity freed: a new insert must succeed.
+        a.insert(6, &[6.0]);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arena full")]
+    fn overfull_panics() {
+        let mut a = GpuArena::new(1, 1);
+        a.insert(1, &[1.0]);
+        a.insert(2, &[2.0]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut a = GpuArena::new(3, 1);
+        a.insert(1, &[1.0]);
+        a.insert(2, &[2.0]);
+        a.clear();
+        assert!(a.is_empty());
+        a.insert(3, &[3.0]);
+        assert_eq!(a.len(), 1);
+    }
+}

@@ -1,0 +1,333 @@
+//! The composed multi-GPU cache and its filler.
+
+use crate::arena::GpuArena;
+use crate::table::HostTable;
+use cache_policy::Placement;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-source hit statistics of one gather call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GatherStats {
+    /// Keys served from the destination GPU's own arena.
+    pub local: u64,
+    /// Keys served from a remote GPU's arena (over the interconnect).
+    pub remote: u64,
+    /// Keys served from the host table (over PCIe).
+    pub host: u64,
+}
+
+impl GatherStats {
+    /// Total keys gathered.
+    pub fn total(&self) -> u64 {
+        self.local + self.remote + self.host
+    }
+}
+
+/// The functional multi-GPU embedding cache.
+///
+/// Per destination GPU it keeps the paper's location hashtable mapping a
+/// cached entry to `<GPU_i, Offset>` (§4); gathers consult it, fall back
+/// to the host table on miss, and report per-source counts that the
+/// timing layer can turn into simulated extraction times.
+#[derive(Debug, Clone)]
+pub struct MultiGpuCache {
+    host: HostTable,
+    arenas: Vec<GpuArena>,
+    /// `locations[i]`: for destination GPU `i`, entry → (source GPU, slot).
+    locations: Vec<HashMap<u32, (u8, u32)>>,
+    placement: Placement,
+}
+
+impl MultiGpuCache {
+    /// Builds and fills the cache from a placement (the Filler, §4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement references more entries than the host
+    /// table holds, or a GPU stores more entries than `cap_entries`.
+    pub fn build(host: HostTable, placement: &Placement, cap_entries: &[usize]) -> Self {
+        assert_eq!(
+            placement.num_entries,
+            host.num_entries(),
+            "table size mismatch"
+        );
+        assert_eq!(
+            placement.num_gpus,
+            cap_entries.len(),
+            "one capacity per GPU"
+        );
+        let g = placement.num_gpus;
+        let dim = host.dim();
+        let mut arenas: Vec<GpuArena> =
+            cap_entries.iter().map(|&c| GpuArena::new(c, dim)).collect();
+
+        // Fill arenas per the storage arrangement.
+        let mut buf = vec![0.0f32; dim];
+        for j in 0..g {
+            for e in 0..placement.num_entries {
+                if placement.stored[j][e] {
+                    host.read_into(e as u32, &mut buf);
+                    arenas[j].insert(e as u32, &buf);
+                }
+            }
+        }
+
+        // Location hashtables per the access arrangement.
+        let mut locations: Vec<HashMap<u32, (u8, u32)>> = Vec::with_capacity(g);
+        for i in 0..g {
+            let mut map = HashMap::new();
+            for e in 0..placement.num_entries {
+                let src = placement.access[i][e];
+                if src != placement.host_idx() {
+                    let off = arenas[src as usize]
+                        .offset_of(e as u32)
+                        .expect("access points at a stored entry (validated placement)");
+                    map.insert(e as u32, (src, off));
+                }
+            }
+            locations.push(map);
+        }
+
+        MultiGpuCache {
+            host,
+            arenas,
+            locations,
+            placement: placement.clone(),
+        }
+    }
+
+    /// Number of GPUs.
+    pub fn num_gpus(&self) -> usize {
+        self.arenas.len()
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.host.dim()
+    }
+
+    /// The host table.
+    pub fn host_table(&self) -> &HostTable {
+        &self.host
+    }
+
+    /// The active placement.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Gathers `keys` for GPU `gpu` into `out` (length `keys.len() × dim`)
+    /// and reports per-source counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` has the wrong length or a key is out of range.
+    pub fn gather(&self, gpu: usize, keys: &[u32], out: &mut [f32]) -> GatherStats {
+        let dim = self.dim();
+        assert_eq!(out.len(), keys.len() * dim, "output buffer length mismatch");
+        let mut stats = GatherStats::default();
+        for (k, &key) in keys.iter().enumerate() {
+            let dst = &mut out[k * dim..(k + 1) * dim];
+            match self.locations[gpu].get(&key) {
+                Some(&(src, off)) => {
+                    self.arenas[src as usize].read_slot(off, dst);
+                    if src as usize == gpu {
+                        stats.local += 1;
+                    } else {
+                        stats.remote += 1;
+                    }
+                }
+                None => {
+                    self.host.read_into(key, dst);
+                    stats.host += 1;
+                }
+            }
+        }
+        stats
+    }
+
+    /// Replaces the placement wholesale (re-fills arenas and hashtables).
+    /// The staged, small-batch variant lives in [`crate::refresh`].
+    pub fn apply_placement(&mut self, placement: &Placement) {
+        let caps: Vec<usize> = self.arenas.iter().map(|a| a.capacity()).collect();
+        *self = MultiGpuCache::build(self.host.clone(), placement, &caps);
+    }
+
+    /// Invalidates every location-table entry that routes a read to
+    /// `gpu` for one of `evict`'s keys, re-routing those reads to host.
+    ///
+    /// MUST run before [`MultiGpuCache::update_arena`] reuses the evicted
+    /// slots: otherwise a stale `<GPU, Offset>` mapping would serve
+    /// another entry's bytes. This is the hashtable-before-content
+    /// ordering of the paper's Refresher (§7.2).
+    pub fn invalidate_before_update(&mut self, gpu: usize, evict: &[u32]) {
+        for i in 0..self.num_gpus() {
+            for &e in evict {
+                if let Some(&(src, _)) = self.locations[i].get(&e) {
+                    if src as usize == gpu {
+                        self.locations[i].remove(&e);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies a single incremental update on one GPU: evict `evict` then
+    /// insert `insert`, updating only that arena (location tables must be
+    /// rebuilt by the caller once a refresh round completes — the paper's
+    /// Refresher swaps the hashtable between foreground batches).
+    pub fn update_arena(&mut self, gpu: usize, evict: &[u32], insert: &[u32]) {
+        let dim = self.dim();
+        let mut buf = vec![0.0f32; dim];
+        for &e in evict {
+            self.arenas[gpu].evict(e);
+        }
+        for &e in insert {
+            self.host.read_into(e, &mut buf);
+            self.arenas[gpu].insert(e, &buf);
+        }
+    }
+
+    /// Rebuilds all location hashtables from a new access arrangement
+    /// (the hashtable swap step of a refresh).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrangement references entries not present in the
+    /// corresponding arena.
+    pub fn swap_locations(&mut self, placement: &Placement) {
+        let g = self.num_gpus();
+        let mut locations: Vec<HashMap<u32, (u8, u32)>> = Vec::with_capacity(g);
+        for i in 0..g {
+            let mut map = HashMap::new();
+            for e in 0..placement.num_entries {
+                let src = placement.access[i][e];
+                if src != placement.host_idx() {
+                    let off = self.arenas[src as usize]
+                        .offset_of(e as u32)
+                        .expect("refresh inserted entries before hashtable swap");
+                    map.insert(e as u32, (src, off));
+                }
+            }
+            locations.push(map);
+        }
+        self.locations = locations;
+        self.placement = placement.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_policy::{baselines, Hotness};
+    use emb_util::zipf::powerlaw_hotness;
+    use gpu_platform::Platform;
+
+    const N: usize = 500;
+    const DIM: usize = 8;
+
+    fn setup(cap: usize) -> (MultiGpuCache, Placement) {
+        let plat = Platform::server_a();
+        let h = Hotness::new(powerlaw_hotness(N, 1.2));
+        let placement = baselines::partition(&plat, &h, cap).unwrap();
+        let host = HostTable::dense(N, DIM);
+        let cache = MultiGpuCache::build(host, &placement, &[cap; 4]);
+        (cache, placement)
+    }
+
+    #[test]
+    fn gather_matches_host_truth() {
+        let (cache, _) = setup(50);
+        let keys: Vec<u32> = vec![0, 3, 499, 250, 0, 77];
+        let mut out = vec![0.0f32; keys.len() * DIM];
+        let stats = cache.gather(1, &keys, &mut out);
+        assert_eq!(stats.total(), keys.len() as u64);
+        let truth = HostTable::dense(N, DIM);
+        for (k, &key) in keys.iter().enumerate() {
+            assert_eq!(
+                &out[k * DIM..(k + 1) * DIM],
+                truth.read(key).as_slice(),
+                "key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_match_placement_split() {
+        let (cache, placement) = setup(50);
+        let keys: Vec<u32> = (0..N as u32).collect();
+        let mut out = vec![0.0f32; keys.len() * DIM];
+        let stats = cache.gather(2, &keys, &mut out);
+        let split = placement.split_keys(2, &keys);
+        let local = split
+            .iter()
+            .find(|(l, _)| *l == gpu_platform::Location::Gpu(2))
+            .map_or(0, |(_, c)| *c);
+        let host = split
+            .iter()
+            .find(|(l, _)| *l == gpu_platform::Location::Host)
+            .map_or(0, |(_, c)| *c);
+        assert_eq!(stats.local, local);
+        assert_eq!(stats.host, host);
+        assert_eq!(stats.remote, N as u64 - local - host);
+    }
+
+    #[test]
+    fn filler_respects_capacity() {
+        let (cache, placement) = setup(50);
+        for j in 0..4 {
+            assert_eq!(cache.arenas[j].len(), placement.cached_count(j));
+            assert!(cache.arenas[j].len() <= 50);
+        }
+    }
+
+    #[test]
+    fn apply_placement_switches_layout() {
+        let (mut cache, _) = setup(50);
+        let plat = Platform::server_a();
+        let h = Hotness::new(powerlaw_hotness(N, 1.2));
+        let rep = baselines::replication(&plat, &h, 50);
+        cache.apply_placement(&rep);
+        let keys: Vec<u32> = (0..50).collect();
+        let mut out = vec![0.0f32; keys.len() * DIM];
+        let stats = cache.gather(3, &keys, &mut out);
+        // Replication: the 50 hottest (= lowest ids for powerlaw) are local.
+        assert_eq!(stats.local, 50);
+        assert_eq!(stats.remote, 0);
+    }
+
+    #[test]
+    fn staged_update_then_swap() {
+        let (mut cache, placement) = setup(50);
+        // Swap a hot resident of GPU0 (entry 0 under partition) for a cold
+        // entry, then swap hashtables to the matching arrangement.
+        let cold = 499u32;
+        let victim = 0u32;
+        assert!(cache.locations[0].get(&cold).is_none());
+        assert_eq!(cache.arenas[0].offset_of(victim).is_some(), true);
+        cache.update_arena(0, &[victim], &[cold]);
+        let mut p2 = placement.clone();
+        p2.stored[0][victim as usize] = false;
+        p2.stored[0][cold as usize] = true;
+        p2.access[0][cold as usize] = 0;
+        for i in 0..4 {
+            if p2.access[i][victim as usize] == 0 {
+                p2.access[i][victim as usize] = p2.host_idx();
+            }
+        }
+        cache.swap_locations(&p2);
+        let mut out = vec![0.0f32; DIM];
+        let stats = cache.gather(0, &[cold], &mut out);
+        assert_eq!(stats.local, 1);
+        assert_eq!(out, HostTable::dense(N, DIM).read(cold));
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer length")]
+    fn wrong_output_length_panics() {
+        let (cache, _) = setup(10);
+        let mut out = vec![0.0f32; 3];
+        let _ = cache.gather(0, &[1, 2], &mut out);
+    }
+}

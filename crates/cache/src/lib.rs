@@ -1,0 +1,36 @@
+//! Functional multi-GPU embedding cache.
+//!
+//! This crate is the *data* half of the reproduction (the timing half is
+//! `gpu-memsim`): it really stores embedding vectors and really gathers
+//! them, so correctness is testable end-to-end:
+//!
+//! * [`HostTable`] — the full embedding table in (real or procedural)
+//!   host memory;
+//! * [`GpuArena`] — one GPU's cache storage: a flat slot array plus the
+//!   entry→offset map;
+//! * [`MultiGpuCache`] — the composed cache: per-GPU location hashtables
+//!   in the paper's `<GPU_i, Offset>` format (§4), a
+//!   [`MultiGpuCache::gather`] that returns both values and per-source
+//!   hit statistics, and a [`MultiGpuCache::apply_placement`] refill path
+//!   (the Filler);
+//! * [`HotnessSampler`] — foreground request sampling for hotness
+//!   tracking (§7.2);
+//! * [`Refresher`] — the background refresh state machine: solve → staged
+//!   small-batch cache updates with bounded foreground impact (Figure 17);
+//! * [`LruCache`] — an online LRU cache (the HPS baseline's eviction
+//!   design), kept so the static-vs-LRU comparison of §7.2 is measured
+//!   against a real implementation.
+
+pub mod arena;
+pub mod cache;
+pub mod lru;
+pub mod refresh;
+pub mod sampler;
+pub mod table;
+
+pub use arena::GpuArena;
+pub use cache::{GatherStats, MultiGpuCache};
+pub use lru::LruCache;
+pub use refresh::{RefreshConfig, RefreshPhase, Refresher};
+pub use sampler::HotnessSampler;
+pub use table::HostTable;

@@ -1,0 +1,350 @@
+//! Background cache refresh (§7.2, Figure 17).
+//!
+//! The Refresher re-evaluates the cache policy when hotness drifts and
+//! migrates the cache to the new placement *in small batches*, bounding
+//! the impact on foreground requests. It is driven by virtual time: the
+//! application loop calls [`Refresher::tick`] with the current simulated
+//! clock, which keeps the whole pipeline deterministic.
+//!
+//! The timeline of one refresh:
+//!
+//! ```text
+//! trigger → [solve: cfg.solve_secs] → [update batch] ─ interval ─ [batch] … → hashtable swap → idle
+//! ```
+//!
+//! While a refresh is active, foreground extraction is slowed by
+//! `cfg.foreground_impact` (solver threads and copy engines compete with
+//! serving, §8.6 reports ≈10 %).
+
+use crate::cache::MultiGpuCache;
+use cache_policy::Placement;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Refresh tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RefreshConfig {
+    /// Simulated seconds the policy re-solve takes (paper: ~10 s).
+    pub solve_secs: f64,
+    /// Cache-update entries migrated per batch.
+    pub entries_per_batch: usize,
+    /// Simulated seconds between update batches (throttling).
+    pub batch_interval_secs: f64,
+    /// Fractional slowdown of foreground requests while active (~0.10).
+    pub foreground_impact: f64,
+    /// Estimated-time increase that triggers a refresh (e.g. 0.10 = 10 %).
+    pub trigger_ratio: f64,
+}
+
+impl Default for RefreshConfig {
+    fn default() -> Self {
+        RefreshConfig {
+            solve_secs: 10.0,
+            entries_per_batch: 4096,
+            batch_interval_secs: 0.05,
+            foreground_impact: 0.10,
+            trigger_ratio: 0.10,
+        }
+    }
+}
+
+/// Where a refresh currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RefreshPhase {
+    /// No refresh in progress.
+    Idle,
+    /// The solver is computing the new policy.
+    Solving,
+    /// Cache contents are being migrated batch by batch.
+    Updating {
+        /// Batches still queued.
+        remaining_batches: usize,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct UpdateBatch {
+    gpu: usize,
+    evict: Vec<u32>,
+    insert: Vec<u32>,
+}
+
+/// The background refresher state machine.
+#[derive(Debug, Clone)]
+pub struct Refresher {
+    cfg: RefreshConfig,
+    phase: RefreshPhase,
+    solve_done_at: f64,
+    next_batch_at: f64,
+    batches: VecDeque<UpdateBatch>,
+    target: Option<Placement>,
+    started_at: f64,
+    /// Completed refresh durations (seconds), for reporting.
+    pub history: Vec<f64>,
+}
+
+impl Refresher {
+    /// Creates an idle refresher.
+    pub fn new(cfg: RefreshConfig) -> Self {
+        Refresher {
+            cfg,
+            phase: RefreshPhase::Idle,
+            solve_done_at: 0.0,
+            next_batch_at: 0.0,
+            batches: VecDeque::new(),
+            target: None,
+            started_at: 0.0,
+            history: Vec::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RefreshConfig {
+        &self.cfg
+    }
+
+    /// Whether estimated extraction-time drift warrants a refresh.
+    pub fn should_refresh(&self, current_est_secs: f64, fresh_est_secs: f64) -> bool {
+        self.phase == RefreshPhase::Idle
+            && current_est_secs > fresh_est_secs * (1.0 + self.cfg.trigger_ratio)
+    }
+
+    /// Whether a refresh is in progress.
+    pub fn active(&self) -> bool {
+        self.phase != RefreshPhase::Idle
+    }
+
+    /// Foreground slowdown multiplier (≥ 1).
+    pub fn slowdown(&self) -> f64 {
+        if self.active() {
+            1.0 + self.cfg.foreground_impact
+        } else {
+            1.0
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> RefreshPhase {
+        self.phase
+    }
+
+    /// Starts a refresh toward `target` at simulated time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a refresh is already active.
+    pub fn begin(&mut self, now: f64, current: &Placement, target: Placement) {
+        assert!(!self.active(), "refresh already in progress");
+        assert_eq!(current.num_entries, target.num_entries);
+        assert_eq!(current.num_gpus, target.num_gpus);
+
+        // Diff: per GPU, entries to drop and entries to add.
+        let mut batches = VecDeque::new();
+        for gpu in 0..current.num_gpus {
+            let mut evict: Vec<u32> = Vec::new();
+            let mut insert: Vec<u32> = Vec::new();
+            for e in 0..current.num_entries {
+                match (current.stored[gpu][e], target.stored[gpu][e]) {
+                    (true, false) => evict.push(e as u32),
+                    (false, true) => insert.push(e as u32),
+                    _ => {}
+                }
+            }
+            // Split into throttled batches, evictions first within each
+            // batch so capacity never overshoots.
+            let per = self.cfg.entries_per_batch.max(1);
+            let mut ei = 0usize;
+            let mut ii = 0usize;
+            while ei < evict.len() || ii < insert.len() {
+                let ev: Vec<u32> = evict[ei..(ei + per).min(evict.len())].to_vec();
+                let ins: Vec<u32> = insert[ii..(ii + per).min(insert.len())].to_vec();
+                ei = (ei + per).min(evict.len());
+                ii = (ii + per).min(insert.len());
+                batches.push_back(UpdateBatch {
+                    gpu,
+                    evict: ev,
+                    insert: ins,
+                });
+            }
+        }
+
+        self.batches = batches;
+        self.target = Some(target);
+        self.phase = RefreshPhase::Solving;
+        self.started_at = now;
+        self.solve_done_at = now + self.cfg.solve_secs;
+    }
+
+    /// Advances the state machine to simulated time `now`, applying any
+    /// due work to the cache. Returns the phase after the tick.
+    pub fn tick(&mut self, now: f64, cache: &mut MultiGpuCache) -> RefreshPhase {
+        loop {
+            match self.phase {
+                RefreshPhase::Idle => break,
+                RefreshPhase::Solving => {
+                    if now < self.solve_done_at {
+                        break;
+                    }
+                    self.phase = RefreshPhase::Updating {
+                        remaining_batches: self.batches.len(),
+                    };
+                    self.next_batch_at = self.solve_done_at;
+                }
+                RefreshPhase::Updating { .. } => {
+                    if now < self.next_batch_at {
+                        break;
+                    }
+                    match self.batches.pop_front() {
+                        Some(b) => {
+                            // Hashtable first, content second (§7.2): stale
+                            // mappings must be gone before slots are reused.
+                            cache.invalidate_before_update(b.gpu, &b.evict);
+                            cache.update_arena(b.gpu, &b.evict, &b.insert);
+                            self.next_batch_at += self.cfg.batch_interval_secs;
+                            self.phase = RefreshPhase::Updating {
+                                remaining_batches: self.batches.len(),
+                            };
+                        }
+                        None => {
+                            // All content moved: swap hashtables and finish.
+                            let target = self.target.take().expect("target set in begin");
+                            cache.swap_locations(&target);
+                            self.history.push(self.next_batch_at - self.started_at);
+                            self.phase = RefreshPhase::Idle;
+                        }
+                    }
+                }
+            }
+        }
+        self.phase
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::HostTable;
+    use cache_policy::{baselines, Hotness};
+    use emb_util::zipf::powerlaw_hotness;
+    use gpu_platform::Platform;
+
+    const N: usize = 400;
+    const DIM: usize = 4;
+
+    fn placements() -> (Placement, Placement) {
+        let plat = Platform::server_a();
+        let h1 = Hotness::new(powerlaw_hotness(N, 1.2));
+        // Drifted hotness: reverse the ranking.
+        let mut w = powerlaw_hotness(N, 1.2);
+        w.reverse();
+        let h2 = Hotness::new(w);
+        (
+            baselines::replication(&plat, &h1, 40),
+            baselines::replication(&plat, &h2, 40),
+        )
+    }
+
+    fn small_cfg() -> RefreshConfig {
+        RefreshConfig {
+            solve_secs: 1.0,
+            entries_per_batch: 16,
+            batch_interval_secs: 0.1,
+            foreground_impact: 0.10,
+            trigger_ratio: 0.10,
+        }
+    }
+
+    #[test]
+    fn trigger_logic() {
+        let r = Refresher::new(small_cfg());
+        assert!(!r.should_refresh(1.0, 1.0));
+        assert!(!r.should_refresh(1.05, 1.0));
+        assert!(r.should_refresh(1.2, 1.0));
+    }
+
+    #[test]
+    fn full_refresh_migrates_cache() {
+        let (p1, p2) = placements();
+        let host = HostTable::dense(N, DIM);
+        let mut cache = MultiGpuCache::build(host, &p1, &[40; 4]);
+        let mut r = Refresher::new(small_cfg());
+        r.begin(0.0, &p1, p2.clone());
+        assert!(r.active());
+        assert_eq!(r.slowdown(), 1.1);
+
+        // Nothing happens during solving.
+        assert_eq!(r.tick(0.5, &mut cache), RefreshPhase::Solving);
+
+        // Drive time forward until idle.
+        let mut now = 1.0;
+        let mut guard = 0;
+        while r.active() {
+            r.tick(now, &mut cache);
+            now += 0.05;
+            guard += 1;
+            assert!(guard < 10_000, "refresh never finished");
+        }
+        assert_eq!(r.history.len(), 1);
+
+        // Cache now serves the new placement: the new-hot entries (high
+        // ids) hit locally.
+        let keys: Vec<u32> = ((N - 40) as u32..N as u32).collect();
+        let mut out = vec![0.0f32; keys.len() * DIM];
+        let stats = cache.gather(0, &keys, &mut out);
+        assert_eq!(stats.local, 40);
+        // Values are still correct.
+        let truth = HostTable::dense(N, DIM);
+        for (k, &key) in keys.iter().enumerate() {
+            assert_eq!(&out[k * DIM..(k + 1) * DIM], truth.read(key).as_slice());
+        }
+    }
+
+    #[test]
+    fn refresh_is_throttled_over_time() {
+        let (p1, p2) = placements();
+        let host = HostTable::dense(N, DIM);
+        let mut cache = MultiGpuCache::build(host, &p1, &[40; 4]);
+        let cfg = small_cfg();
+        let mut r = Refresher::new(cfg);
+        r.begin(0.0, &p1, p2);
+        // Diff is ~80 entries per GPU (40 out, 40 in) → 40/16 ≈ 3 batches
+        // per GPU ≥ 12 batches total → ≥ 1.1 s of update time after solve.
+        let mut now = 0.0;
+        while r.active() && now < 100.0 {
+            r.tick(now, &mut cache);
+            now += 0.01;
+        }
+        assert!(!r.active());
+        let duration = r.history[0];
+        assert!(
+            duration >= cfg.solve_secs + 1.0,
+            "refresh finished suspiciously fast: {duration}s"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already in progress")]
+    fn double_begin_panics() {
+        let (p1, p2) = placements();
+        let mut r = Refresher::new(small_cfg());
+        r.begin(0.0, &p1, p2.clone());
+        r.begin(0.0, &p1, p2);
+    }
+
+    #[test]
+    fn noop_refresh_completes_quickly() {
+        let (p1, _) = placements();
+        let host = HostTable::dense(N, DIM);
+        let mut cache = MultiGpuCache::build(host, &p1, &[40; 4]);
+        let mut r = Refresher::new(small_cfg());
+        r.begin(0.0, &p1, p1.clone());
+        let mut now = 0.0;
+        while r.active() && now < 10.0 {
+            r.tick(now, &mut cache);
+            now += 0.05;
+        }
+        assert!(!r.active());
+        // Only the solve phase: no batches.
+        assert!(r.history[0] <= small_cfg().solve_secs + 0.2);
+    }
+}

@@ -1,0 +1,132 @@
+//! Foreground hotness sampling (§7.2).
+//!
+//! UGache samples input requests on the CPU to track hotness without
+//! impacting the extraction path. The sampler counts every `1/rate`-th
+//! key deterministically (stride sampling is unbiased here because keys
+//! arrive in workload order, not sorted order).
+
+use cache_policy::Hotness;
+use serde::{Deserialize, Serialize};
+
+/// Streaming key-frequency sampler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HotnessSampler {
+    counts: Vec<u64>,
+    /// Record one of every `stride` keys.
+    stride: usize,
+    cursor: usize,
+    sampled: u64,
+    observed: u64,
+}
+
+impl HotnessSampler {
+    /// Creates a sampler over `num_entries` keys, recording one in
+    /// `stride` observations (`stride = 1` counts everything).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn new(num_entries: usize, stride: usize) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        HotnessSampler {
+            counts: vec![0; num_entries],
+            stride,
+            cursor: 0,
+            sampled: 0,
+            observed: 0,
+        }
+    }
+
+    /// Observes a batch of keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a key is out of range.
+    pub fn observe(&mut self, keys: &[u32]) {
+        for &k in keys {
+            self.observed += 1;
+            self.cursor += 1;
+            if self.cursor >= self.stride {
+                self.cursor = 0;
+                self.counts[k as usize] += 1;
+                self.sampled += 1;
+            }
+        }
+    }
+
+    /// Total keys seen (sampled or not).
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Keys actually counted.
+    pub fn sampled(&self) -> u64 {
+        self.sampled
+    }
+
+    /// Snapshot of the current hotness estimate.
+    pub fn snapshot(&self) -> Hotness {
+        Hotness::from_counts(&self.counts)
+    }
+
+    /// Clears counts (e.g. after a refresh consumed them).
+    pub fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.cursor = 0;
+        self.sampled = 0;
+        self.observed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emb_util::{seed_rng, ZipfSampler};
+
+    #[test]
+    fn full_rate_counts_everything() {
+        let mut s = HotnessSampler::new(10, 1);
+        s.observe(&[1, 1, 2, 9]);
+        assert_eq!(s.observed(), 4);
+        assert_eq!(s.sampled(), 4);
+        let h = s.snapshot();
+        assert_eq!(h.weights[1], 2.0);
+        assert_eq!(h.weights[9], 1.0);
+    }
+
+    #[test]
+    fn stride_sampling_is_proportional() {
+        let n = 1000u64;
+        let zipf = ZipfSampler::new(n, 1.2);
+        let mut rng = seed_rng(3);
+        let keys: Vec<u32> = (0..200_000).map(|_| zipf.sample(&mut rng) as u32).collect();
+        let mut full = HotnessSampler::new(n as usize, 1);
+        let mut sub = HotnessSampler::new(n as usize, 16);
+        full.observe(&keys);
+        sub.observe(&keys);
+        assert_eq!(sub.sampled(), 200_000 / 16);
+        // The top entries should agree between full and subsampled counts.
+        let top_full = full.snapshot().ranking()[0];
+        let top_sub = sub.snapshot().ranking()[0];
+        assert_eq!(top_full, top_sub);
+        // Subsampled counts scale by ~stride.
+        let ratio = full.snapshot().weights[top_full as usize]
+            / sub.snapshot().weights[top_sub as usize].max(1.0);
+        assert!((ratio - 16.0).abs() < 3.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut s = HotnessSampler::new(4, 2);
+        s.observe(&[0, 1, 2, 3]);
+        s.reset();
+        assert_eq!(s.observed(), 0);
+        assert_eq!(s.snapshot().total(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_panics() {
+        let _ = HotnessSampler::new(4, 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! The host-resident embedding table.
+
+use serde::{Deserialize, Serialize};
+
+/// The full `N × D` embedding table living in host memory.
+///
+/// Two storage modes:
+///
+/// * **Dense** — real `f32` buffers, used by tests and examples where the
+///   scaled table fits in RAM;
+/// * **Procedural** — values computed on demand from a hash of
+///   `(entry, dim)`. Paper-scale tables (hundreds of GB) cannot be
+///   materialized on a development box; procedural values preserve the
+///   property the functional layer needs — every read of the same entry
+///   returns the same vector — at O(1) memory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostTable {
+    num_entries: usize,
+    dim: usize,
+    /// Dense backing store, or `None` for procedural mode.
+    data: Option<Vec<f32>>,
+}
+
+impl HostTable {
+    /// Creates a dense table with procedurally initialized values (same
+    /// values as procedural mode, but materialized).
+    pub fn dense(num_entries: usize, dim: usize) -> Self {
+        let mut data = Vec::with_capacity(num_entries * dim);
+        for e in 0..num_entries {
+            for d in 0..dim {
+                data.push(procedural_value(e as u32, d as u32));
+            }
+        }
+        HostTable {
+            num_entries,
+            dim,
+            data: Some(data),
+        }
+    }
+
+    /// Creates a procedural table (O(1) memory).
+    pub fn procedural(num_entries: usize, dim: usize) -> Self {
+        HostTable {
+            num_entries,
+            dim,
+            data: None,
+        }
+    }
+
+    /// Number of entries `N`.
+    pub fn num_entries(&self) -> usize {
+        self.num_entries
+    }
+
+    /// Embedding dimension `D`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Bytes per entry (f32 elements).
+    pub fn entry_bytes(&self) -> usize {
+        self.dim * std::mem::size_of::<f32>()
+    }
+
+    /// Total logical size in bytes (the paper's `VolumeE`).
+    pub fn volume_bytes(&self) -> u64 {
+        self.num_entries as u64 * self.entry_bytes() as u64
+    }
+
+    /// Reads entry `e` into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range or `out.len() != dim`.
+    pub fn read_into(&self, e: u32, out: &mut [f32]) {
+        assert!((e as usize) < self.num_entries, "entry {e} out of range");
+        assert_eq!(out.len(), self.dim, "output slice has wrong dim");
+        match &self.data {
+            Some(data) => {
+                let base = e as usize * self.dim;
+                out.copy_from_slice(&data[base..base + self.dim]);
+            }
+            None => {
+                for (d, v) in out.iter_mut().enumerate() {
+                    *v = procedural_value(e, d as u32);
+                }
+            }
+        }
+    }
+
+    /// Returns entry `e` as a fresh vector.
+    pub fn read(&self, e: u32) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim];
+        self.read_into(e, &mut out);
+        out
+    }
+}
+
+/// Deterministic pseudo-random value in `[-1, 1)` for `(entry, dim)`.
+fn procedural_value(e: u32, d: u32) -> f32 {
+    let mut z = (e as u64) << 32 | d as u64;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // Map the top 24 bits to [-1, 1).
+    ((z >> 40) as f32 / (1u64 << 23) as f32) - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_and_procedural_agree() {
+        let dense = HostTable::dense(64, 8);
+        let proc_ = HostTable::procedural(64, 8);
+        for e in [0u32, 1, 33, 63] {
+            assert_eq!(dense.read(e), proc_.read(e));
+        }
+    }
+
+    #[test]
+    fn reads_are_stable() {
+        let t = HostTable::procedural(100, 16);
+        assert_eq!(t.read(42), t.read(42));
+        assert_ne!(t.read(42), t.read(43));
+    }
+
+    #[test]
+    fn values_in_range() {
+        let t = HostTable::procedural(1000, 4);
+        for e in 0..1000u32 {
+            for v in t.read(e) {
+                assert!((-1.0..1.0).contains(&v), "value {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn volume_accounting() {
+        let t = HostTable::procedural(1000, 128);
+        assert_eq!(t.entry_bytes(), 512);
+        assert_eq!(t.volume_bytes(), 512_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_read_panics() {
+        let t = HostTable::procedural(10, 4);
+        let _ = t.read(10);
+    }
+}

@@ -1,0 +1,231 @@
+//! DLRM and DCN inference stacks (paper §8.1).
+//!
+//! DLRM: a bottom MLP embeds the dense features, a dot-product
+//! interaction combines them with the looked-up embedding vectors, and a
+//! top MLP produces the click-through logit. DCN replaces the explicit
+//! interaction with stacked cross layers. Both consume embeddings the
+//! cache layer gathered — the integration point the paper's TensorFlow
+//! plugin provides.
+
+use crate::matrix::{sigmoid, Matrix};
+use crate::mlp::Mlp;
+use serde::{Deserialize, Serialize};
+
+/// The DLRM inference model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DlrmModel {
+    dense_features: usize,
+    num_tables: usize,
+    dim: usize,
+    bottom: Mlp,
+    top: Mlp,
+}
+
+impl DlrmModel {
+    /// Builds a DLRM for `num_tables` embedding tables of width `dim` and
+    /// `dense_features` continuous inputs (Criteo: 26 tables, 13 dense).
+    pub fn new(dense_features: usize, num_tables: usize, dim: usize, seed: u64) -> Self {
+        // Bottom MLP maps dense features into the embedding space; the
+        // interaction is all pairwise dots among (bottom output + tables).
+        let f = num_tables + 1;
+        let interactions = f * (f - 1) / 2;
+        DlrmModel {
+            dense_features,
+            num_tables,
+            dim,
+            bottom: Mlp::new(&[dense_features, 64, dim], emb_util::split_seed(seed, 1)),
+            top: Mlp::new(
+                &[interactions + dim, 64, 32, 1],
+                emb_util::split_seed(seed, 2),
+            ),
+        }
+    }
+
+    /// Number of embedding vectors expected per request.
+    pub fn num_tables(&self) -> usize {
+        self.num_tables
+    }
+
+    /// Embedding width expected per vector.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Scores a batch: `dense` is `batch × dense_features`, `embeddings`
+    /// is `batch × (num_tables · dim)` (one gathered vector per table, as
+    /// the embedding layer returns them). Returns CTR probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn forward(&self, dense: &Matrix, embeddings: &Matrix) -> Vec<f32> {
+        assert_eq!(dense.cols, self.dense_features, "dense width");
+        assert_eq!(
+            embeddings.cols,
+            self.num_tables * self.dim,
+            "embedding width"
+        );
+        assert_eq!(dense.rows, embeddings.rows, "batch mismatch");
+        let bottom = self.bottom.forward(dense);
+
+        let f = self.num_tables + 1;
+        let mut features = Matrix::zeros(dense.rows, f * (f - 1) / 2 + self.dim);
+        for r in 0..dense.rows {
+            // Feature vectors: bottom output + each table's embedding.
+            let mut vecs: Vec<&[f32]> = Vec::with_capacity(f);
+            vecs.push(bottom.row(r));
+            let erow = embeddings.row(r);
+            for t in 0..self.num_tables {
+                vecs.push(&erow[t * self.dim..(t + 1) * self.dim]);
+            }
+            // Pairwise dot products (upper triangle).
+            let mut k = 0usize;
+            for i in 0..f {
+                for j in (i + 1)..f {
+                    let dot: f32 = vecs[i].iter().zip(vecs[j]).map(|(a, b)| a * b).sum();
+                    *features.at_mut(r, k) = dot;
+                    k += 1;
+                }
+            }
+            // Concatenate the bottom output (standard DLRM).
+            for (d, &v) in (0..self.dim).zip(bottom.row(r)) {
+                *features.at_mut(r, k + d) = v;
+            }
+        }
+        let logits = self.top.forward(&features);
+        (0..logits.rows).map(|r| sigmoid(logits.at(r, 0))).collect()
+    }
+}
+
+/// The DCN inference model: embedding + dense concatenation through
+/// `cross_layers` cross layers (`x_{l+1} = x_0 ⊙ (x_l · w) + b + x_l`)
+/// followed by a small MLP head.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DcnModel {
+    dense_features: usize,
+    num_tables: usize,
+    dim: usize,
+    cross_w: Vec<Vec<f32>>,
+    cross_b: Vec<Vec<f32>>,
+    head: Mlp,
+}
+
+impl DcnModel {
+    /// Builds a DCN with the given geometry and `cross_layers` crosses.
+    pub fn new(
+        dense_features: usize,
+        num_tables: usize,
+        dim: usize,
+        cross_layers: usize,
+        seed: u64,
+    ) -> Self {
+        let width = dense_features + num_tables * dim;
+        let mut cross_w = Vec::with_capacity(cross_layers);
+        let mut cross_b = Vec::with_capacity(cross_layers);
+        for l in 0..cross_layers {
+            let m = Matrix::xavier(width, 1, emb_util::split_seed(seed, 10 + l as u64));
+            cross_w.push(m.data);
+            cross_b.push(vec![0.0; width]);
+        }
+        DcnModel {
+            dense_features,
+            num_tables,
+            dim,
+            cross_w,
+            cross_b,
+            head: Mlp::new(&[width, 64, 1], emb_util::split_seed(seed, 99)),
+        }
+    }
+
+    /// Scores a batch (same conventions as [`DlrmModel::forward`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn forward(&self, dense: &Matrix, embeddings: &Matrix) -> Vec<f32> {
+        assert_eq!(dense.cols, self.dense_features, "dense width");
+        assert_eq!(
+            embeddings.cols,
+            self.num_tables * self.dim,
+            "embedding width"
+        );
+        assert_eq!(dense.rows, embeddings.rows, "batch mismatch");
+        let width = self.dense_features + self.num_tables * self.dim;
+        let rows = dense.rows;
+        let mut x = Matrix::zeros(rows, width);
+        for r in 0..rows {
+            let dst = &mut x.data[r * width..(r + 1) * width];
+            dst[..self.dense_features].copy_from_slice(dense.row(r));
+            dst[self.dense_features..].copy_from_slice(embeddings.row(r));
+        }
+        let x0 = x.clone();
+        for (w, b) in self.cross_w.iter().zip(&self.cross_b) {
+            for r in 0..rows {
+                let xr: f32 = x.row(r).iter().zip(w).map(|(a, c)| a * c).sum();
+                let base = r * width;
+                for k in 0..width {
+                    x.data[base + k] = x0.data[base + k] * xr + b[k] + x.data[base + k];
+                }
+            }
+        }
+        let logits = self.head.forward(&x);
+        (0..rows).map(|r| sigmoid(logits.at(r, 0))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(rows: usize, tables: usize, dim: usize) -> (Matrix, Matrix) {
+        (
+            Matrix::xavier(rows, 13, 21),
+            Matrix::xavier(rows, tables * dim, 22),
+        )
+    }
+
+    #[test]
+    fn dlrm_scores_are_probabilities() {
+        let m = DlrmModel::new(13, 6, 8, 1);
+        let (d, e) = batch(16, 6, 8);
+        let p = m.forward(&d, &e);
+        assert_eq!(p.len(), 16);
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn dlrm_depends_on_embeddings() {
+        let m = DlrmModel::new(13, 6, 8, 1);
+        let (d, e) = batch(4, 6, 8);
+        let mut e2 = e.clone();
+        e2.data[3] += 1.0;
+        assert_ne!(m.forward(&d, &e), m.forward(&d, &e2));
+    }
+
+    #[test]
+    fn dcn_scores_are_probabilities_and_deterministic() {
+        let m = DcnModel::new(13, 6, 8, 2, 4);
+        let (d, e) = batch(8, 6, 8);
+        let a = m.forward(&d, &e);
+        let b = m.forward(&d, &e);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn dcn_cross_layers_change_the_function() {
+        let (d, e) = batch(4, 6, 8);
+        let m1 = DcnModel::new(13, 6, 8, 1, 4);
+        let m2 = DcnModel::new(13, 6, 8, 3, 4);
+        assert_ne!(m1.forward(&d, &e), m2.forward(&d, &e));
+    }
+
+    #[test]
+    #[should_panic(expected = "embedding width")]
+    fn dlrm_rejects_wrong_embedding_width() {
+        let m = DlrmModel::new(13, 6, 8, 1);
+        let d = Matrix::zeros(2, 13);
+        let e = Matrix::zeros(2, 5 * 8);
+        let _ = m.forward(&d, &e);
+    }
+}

@@ -1,0 +1,85 @@
+//! GNN feature aggregation over extracted embeddings.
+//!
+//! GraphSAGE-style mean aggregation: a seed's feature is the mean of its
+//! sampled neighbours' (frozen, cache-served) embedding vectors,
+//! concatenated with its own. The result feeds a trainable [`crate::Mlp`]
+//! classifier — the paper's setting, where the embedding table is
+//! pre-trained and only the dense part learns (§2).
+
+use crate::matrix::Matrix;
+
+/// Builds per-seed features: `[own embedding ‖ mean(neighbour embeddings)]`.
+///
+/// `lookup` maps a vertex id to its embedding slice (whatever storage the
+/// cache layer gathered into). Seeds with no neighbours get a zero mean.
+///
+/// # Panics
+///
+/// Panics if any looked-up slice is not `dim` long.
+pub fn mean_aggregate<'a, F>(
+    seeds: &[u32],
+    neighbors: &[Vec<u32>],
+    dim: usize,
+    mut lookup: F,
+) -> Matrix
+where
+    F: FnMut(u32) -> &'a [f32],
+{
+    assert_eq!(seeds.len(), neighbors.len(), "one neighbour list per seed");
+    let mut out = Matrix::zeros(seeds.len(), dim * 2);
+    for (r, (&s, nbrs)) in seeds.iter().zip(neighbors).enumerate() {
+        let own = lookup(s);
+        assert_eq!(own.len(), dim, "embedding width mismatch");
+        let row = &mut out.data[r * dim * 2..(r + 1) * dim * 2];
+        row[..dim].copy_from_slice(own);
+        if !nbrs.is_empty() {
+            for &n in nbrs {
+                let e = lookup(n);
+                assert_eq!(e.len(), dim, "embedding width mismatch");
+                for (acc, &v) in row[dim..].iter_mut().zip(e) {
+                    *acc += v;
+                }
+            }
+            let inv = 1.0 / nbrs.len() as f32;
+            for acc in row[dim..].iter_mut() {
+                *acc *= inv;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Vec<Vec<f32>> {
+        (0..8u32).map(|e| vec![e as f32, (e * 10) as f32]).collect()
+    }
+
+    #[test]
+    fn aggregates_own_and_mean() {
+        let t = table();
+        let feats = mean_aggregate(&[1, 2], &[vec![3, 5], vec![]], 2, |v| &t[v as usize]);
+        // Seed 1: own [1,10], mean of 3 and 5 = [4,40].
+        assert_eq!(feats.row(0), &[1.0, 10.0, 4.0, 40.0]);
+        // Seed 2 has no neighbours → zero mean.
+        assert_eq!(feats.row(1), &[2.0, 20.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn shape_is_two_dim_wide() {
+        let t = table();
+        let f = mean_aggregate(&[0, 1, 2], &[vec![1], vec![2], vec![3]], 2, |v| {
+            &t[v as usize]
+        });
+        assert_eq!((f.rows, f.cols), (3, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "one neighbour list per seed")]
+    fn mismatched_lists_panic() {
+        let t = table();
+        let _ = mean_aggregate(&[0, 1], &[vec![]], 2, |v| &t[v as usize]);
+    }
+}

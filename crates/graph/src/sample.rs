@@ -1,0 +1,227 @@
+//! Multi-hop neighbourhood sampling.
+//!
+//! Reproduces the sampling front-end of DGL-style GNN training: every
+//! iteration picks a seed batch, expands it hop by hop with per-hop
+//! fanouts, and the union of visited vertices is the set of embedding
+//! keys the extraction layer must fetch (paper §2, "batched, subset
+//! access"). Unsupervised training additionally draws uniform negative
+//! samples, which *reduces* access skew — the effect the paper calls out
+//! in §8.2.
+
+use crate::csr::Csr;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Result of sampling one batch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SampledBatch {
+    /// Unique vertices touched (seeds, neighbours, negatives) — the
+    /// embedding keys to extract, deduplicated as real systems do.
+    pub unique_keys: Vec<u32>,
+    /// Every vertex visit before deduplication, in visit order. Hotness
+    /// profiling counts these (deduplicated presence ties hot entries
+    /// together and loses the frequency signal).
+    pub visits: Vec<u32>,
+}
+
+impl SampledBatch {
+    /// Total vertex visits before deduplication.
+    pub fn total_visits(&self) -> u64 {
+        self.visits.len() as u64
+    }
+}
+
+/// Random k-hop neighbourhood sampler with per-hop fanouts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FanoutSampler {
+    /// Neighbours sampled per vertex per hop, outermost hop first
+    /// (e.g. `[25, 10]` for 2-hop GraphSAGE).
+    pub fanouts: Vec<usize>,
+    /// Uniform negative samples added per seed (0 for supervised runs).
+    pub negatives_per_seed: usize,
+}
+
+impl FanoutSampler {
+    /// The standard 2-hop GraphSAGE sampler (fanouts 25, 10), supervised.
+    pub fn graphsage() -> Self {
+        FanoutSampler {
+            fanouts: vec![25, 10],
+            negatives_per_seed: 0,
+        }
+    }
+
+    /// 3-hop GCN-style sampler (fanouts 15, 10, 5), supervised.
+    pub fn gcn() -> Self {
+        FanoutSampler {
+            fanouts: vec![15, 10, 5],
+            negatives_per_seed: 0,
+        }
+    }
+
+    /// Unsupervised GraphSAGE for link prediction: 2-hop plus one negative
+    /// seed per positive, which also gets expanded.
+    pub fn graphsage_unsupervised() -> Self {
+        FanoutSampler {
+            fanouts: vec![25, 10],
+            negatives_per_seed: 1,
+        }
+    }
+
+    /// Samples the k-hop neighbourhood of `seeds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a seed is out of range for the graph.
+    pub fn sample<R: Rng + ?Sized>(&self, graph: &Csr, seeds: &[u32], rng: &mut R) -> SampledBatch {
+        let n = graph.num_vertices() as u32;
+        let mut visited: Vec<u32> = Vec::with_capacity(seeds.len() * 8);
+        let mut frontier: Vec<u32> = Vec::with_capacity(seeds.len() * 2);
+        for &s in seeds {
+            assert!(s < n, "seed {s} out of range");
+            frontier.push(s);
+        }
+        // Negative sampling: uniform random vertices join the frontier and
+        // are expanded like positives (link-prediction pipelines compute
+        // representations for negatives too).
+        if self.negatives_per_seed > 0 && n > 0 {
+            for _ in 0..seeds.len() * self.negatives_per_seed {
+                frontier.push(rng.gen_range(0..n));
+            }
+        }
+        visited.extend_from_slice(&frontier);
+
+        for &fanout in &self.fanouts {
+            let mut next: Vec<u32> = Vec::with_capacity(frontier.len() * fanout);
+            for &v in &frontier {
+                let nbrs = graph.neighbors(v);
+                if nbrs.is_empty() {
+                    continue;
+                }
+                if nbrs.len() <= fanout {
+                    next.extend_from_slice(nbrs);
+                } else {
+                    // Sample without replacement.
+                    next.extend(nbrs.choose_multiple(rng, fanout).copied());
+                }
+            }
+            visited.extend_from_slice(&next);
+            frontier = next;
+        }
+
+        let visits = visited.clone();
+        visited.sort_unstable();
+        visited.dedup();
+        SampledBatch {
+            unique_keys: visited,
+            visits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate, GraphConfig};
+    use emb_util::seed_rng;
+
+    fn graph() -> Csr {
+        generate(&GraphConfig {
+            num_vertices: 20_000,
+            avg_degree: 12,
+            skew: 1.1,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn seeds_always_included() {
+        let g = graph();
+        let mut rng = seed_rng(1);
+        let seeds = [5u32, 99, 7777];
+        let batch = FanoutSampler::graphsage().sample(&g, &seeds, &mut rng);
+        for s in seeds {
+            assert!(batch.unique_keys.binary_search(&s).is_ok());
+        }
+    }
+
+    #[test]
+    fn unique_keys_are_sorted_and_deduped() {
+        let g = graph();
+        let mut rng = seed_rng(2);
+        let seeds: Vec<u32> = (0..512).collect();
+        let batch = FanoutSampler::graphsage().sample(&g, &seeds, &mut rng);
+        let mut copy = batch.unique_keys.clone();
+        copy.sort_unstable();
+        copy.dedup();
+        assert_eq!(copy, batch.unique_keys);
+        assert!(batch.total_visits() >= batch.unique_keys.len() as u64);
+    }
+
+    #[test]
+    fn expansion_grows_with_fanout() {
+        let g = graph();
+        let seeds: Vec<u32> = (0..256).collect();
+        let small = FanoutSampler {
+            fanouts: vec![2],
+            negatives_per_seed: 0,
+        }
+        .sample(&g, &seeds, &mut seed_rng(4));
+        let large = FanoutSampler {
+            fanouts: vec![20],
+            negatives_per_seed: 0,
+        }
+        .sample(&g, &seeds, &mut seed_rng(4));
+        assert!(large.unique_keys.len() > small.unique_keys.len());
+    }
+
+    #[test]
+    fn three_hops_visit_more_than_two() {
+        let g = graph();
+        let seeds: Vec<u32> = (100..400).collect();
+        let two = FanoutSampler {
+            fanouts: vec![10, 10],
+            negatives_per_seed: 0,
+        }
+        .sample(&g, &seeds, &mut seed_rng(5));
+        let three = FanoutSampler {
+            fanouts: vec![10, 10, 10],
+            negatives_per_seed: 0,
+        }
+        .sample(&g, &seeds, &mut seed_rng(5));
+        assert!(three.total_visits() > two.total_visits());
+    }
+
+    #[test]
+    fn negatives_reduce_skew() {
+        // With uniform negatives, the sampled key set covers more of the
+        // cold tail: unique count rises relative to total visits.
+        let g = graph();
+        let seeds: Vec<u32> = (0..128).collect();
+        let sup = FanoutSampler::graphsage().sample(&g, &seeds, &mut seed_rng(6));
+        let unsup = FanoutSampler::graphsage_unsupervised().sample(&g, &seeds, &mut seed_rng(6));
+        assert!(
+            unsup.unique_keys.len() > sup.unique_keys.len(),
+            "unsup {} vs sup {}",
+            unsup.unique_keys.len(),
+            sup.unique_keys.len()
+        );
+        assert!(unsup.total_visits() > sup.total_visits());
+    }
+
+    #[test]
+    fn deterministic_given_rng_seed() {
+        let g = graph();
+        let seeds: Vec<u32> = (0..128).collect();
+        let a = FanoutSampler::gcn().sample(&g, &seeds, &mut seed_rng(9));
+        let b = FanoutSampler::gcn().sample(&g, &seeds, &mut seed_rng(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_seed_panics() {
+        let g = graph();
+        let _ = FanoutSampler::gcn().sample(&g, &[1_000_000], &mut seed_rng(1));
+    }
+}

@@ -1,0 +1,955 @@
+//! The discrete-event extraction engine.
+//!
+//! Work arrives as "destination GPU `i` must pull `b` bytes from source
+//! `j`". Each GPU's SM cores pick up fixed-size chunks of that work
+//! according to a [`DispatchMode`]; at every instant the engine computes
+//! each flow's rate from the congestion model (per-core caps, path caps,
+//! source-egress caps) and advances simulated time to the next chunk
+//! completion. Stalls emerge naturally: a core stuck on an oversubscribed
+//! PCIe chunk holds that core while fast local chunks drain elsewhere.
+
+use crate::bandwidth::{effective_bw, CongestionModel};
+use crate::trace::{ExtractionTrace, TraceEvent};
+use emb_util::{split_seed, SimTime};
+use gpu_platform::{DedicationConfig, Interconnect, Location, PathSpec, Platform, Profile};
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Engine tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Bytes per dispatched chunk (the unit of core occupancy).
+    pub chunk_bytes: f64,
+    /// Congestion model shared by all paths.
+    pub congestion: CongestionModel,
+    /// Fixed per-extraction kernel-launch overhead added to every GPU.
+    pub launch_overhead: SimTime,
+    /// Optional cap on total host-DRAM egress (sum over all PCIe links).
+    /// `None` means only the per-GPU PCIe links limit host reads.
+    pub host_dram_bw: Option<f64>,
+    /// Factored mode only: serve local chunks as low-priority padding on
+    /// cores whose dedicated queue drained (§5.3). Disabling it (for the
+    /// ablation) makes local extraction a barrier phase that starts only
+    /// after every non-local group of the GPU finished.
+    pub factored_padding: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            chunk_bytes: 256.0 * 1024.0,
+            congestion: CongestionModel::default(),
+            launch_overhead: SimTime::from_micros(15),
+            host_dram_bw: None,
+            factored_padding: true,
+        }
+    }
+}
+
+/// Bytes a destination GPU must pull from one source.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SourceDemand {
+    /// Where the bytes live.
+    pub src: Location,
+    /// How many bytes to move.
+    pub bytes: f64,
+}
+
+/// The extraction work of one destination GPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuWork {
+    /// Destination GPU index.
+    pub gpu: usize,
+    /// Per-source byte demands (sources may repeat; they are merged).
+    pub demands: Vec<SourceDemand>,
+}
+
+/// How SM cores are assigned to per-source work.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DispatchMode {
+    /// Naive peer access: every core pulls the next chunk from one shared,
+    /// randomly interleaved queue — the congestion-prone scheme of §3.2.
+    RandomShared {
+        /// Shuffle seed (per-GPU streams are derived from it).
+        seed: u64,
+    },
+    /// UGache's factored extraction (§5.3): cores are statically dedicated
+    /// per non-local source within link tolerance; local work runs as
+    /// low-priority padding on every core whose dedicated queue drained.
+    Factored {
+        /// Core-dedication tunables.
+        dedication: DedicationConfig,
+    },
+    /// All cores gang up on one source at a time, in demand order. Used to
+    /// model bulk per-source phases (e.g. message-based buffer gathers).
+    Sequential,
+}
+
+/// Per-source outcome on one destination GPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkUse {
+    /// Source location.
+    pub src: Location,
+    /// Bytes moved from this source.
+    pub bytes: f64,
+    /// Wall time during which at least one core was reading this source.
+    pub busy: SimTime,
+    /// Nominal path bandwidth (bytes/s).
+    pub peak_bw: f64,
+}
+
+impl LinkUse {
+    /// Average bandwidth achieved while the path was busy (bytes/s).
+    pub fn avg_bw_while_busy(&self) -> f64 {
+        let s = self.busy.as_secs_f64();
+        if s > 0.0 {
+            self.bytes / s
+        } else {
+            0.0
+        }
+    }
+
+    /// Utilization of the path over a reference window (e.g. the GPU's
+    /// extraction makespan): achieved average bandwidth / nominal.
+    pub fn utilization_over(&self, window: SimTime) -> f64 {
+        let s = window.as_secs_f64();
+        if s > 0.0 && self.peak_bw > 0.0 {
+            (self.bytes / s) / self.peak_bw
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Extraction outcome for one destination GPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuExtraction {
+    /// Destination GPU index.
+    pub gpu: usize,
+    /// Wall time from launch until this GPU's last chunk completed,
+    /// including launch overhead.
+    pub time: SimTime,
+    /// Aggregate core-busy time (core-seconds as [`SimTime`]); divide by
+    /// `time × SM count` for core utilization.
+    pub core_busy: SimTime,
+    /// Per-source transfer accounting.
+    pub per_src: Vec<LinkUse>,
+}
+
+impl GpuExtraction {
+    /// Bytes moved from a given source (0 if none).
+    pub fn bytes_from(&self, src: Location) -> f64 {
+        self.per_src
+            .iter()
+            .find(|u| u.src == src)
+            .map_or(0.0, |u| u.bytes)
+    }
+}
+
+/// Outcome of a whole extraction call.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtractionResult {
+    /// Max over GPUs of their extraction time (the batch completes when the
+    /// slowest GPU finishes — data-parallel steps synchronize).
+    pub makespan: SimTime,
+    /// Per-GPU details, indexed by position in the input works.
+    pub per_gpu: Vec<GpuExtraction>,
+}
+
+struct Group {
+    gpu: usize,
+    src: Location,
+    path: PathSpec,
+    chunks_left: u64,
+    chunk_size: f64,
+    bytes_done: f64,
+    busy: f64,
+    /// Scratch: number of cores currently on this group.
+    active: usize,
+    /// Scratch: allocated aggregate rate for this instant.
+    rate: f64,
+}
+
+struct Core {
+    gpu: usize,
+    /// Index of this core within its GPU.
+    local_idx: usize,
+    /// Group this core is dedicated to (Factored mode), by global index.
+    dedicated: Option<usize>,
+    /// Current chunk: (group index, remaining bytes).
+    job: Option<(usize, f64)>,
+}
+
+enum GpuQueue {
+    /// Static random dispatch: every chunk is pre-assigned to a core at
+    /// launch (per-core queues, no work stealing) — the unorganized
+    /// parallelism of §5.2, where an unlucky core stuck with slow chunks
+    /// stalls the whole kernel.
+    Random {
+        per_core: Vec<VecDeque<usize>>,
+    },
+    Factored {
+        local: Option<usize>,
+    },
+    Sequential {
+        order: Vec<usize>,
+    },
+}
+
+/// Simulates one extraction call.
+///
+/// # Panics
+///
+/// Panics if a demand references an unreachable source (callers must
+/// respect the topology), a GPU index is out of range, or byte counts are
+/// negative/non-finite.
+pub fn simulate(
+    platform: &Platform,
+    cfg: &SimConfig,
+    works: &[GpuWork],
+    mode: DispatchMode,
+) -> ExtractionResult {
+    run(platform, cfg, works, mode, false).0
+}
+
+/// Like [`simulate`], but also records a per-chunk execution trace
+/// (who read what, when) for schedule visualization and analysis.
+pub fn simulate_traced(
+    platform: &Platform,
+    cfg: &SimConfig,
+    works: &[GpuWork],
+    mode: DispatchMode,
+) -> (ExtractionResult, ExtractionTrace) {
+    run(platform, cfg, works, mode, true)
+}
+
+fn run(
+    platform: &Platform,
+    cfg: &SimConfig,
+    works: &[GpuWork],
+    mode: DispatchMode,
+    record: bool,
+) -> (ExtractionResult, ExtractionTrace) {
+    // Collect per-(gpu, src) byte totals (merging duplicate sources).
+    let mut totals: Vec<Vec<(Location, f64)>> = vec![Vec::new(); platform.num_gpus()];
+    for w in works {
+        assert!(
+            w.gpu < platform.num_gpus(),
+            "GPU index {} out of range",
+            w.gpu
+        );
+        for d in &w.demands {
+            assert!(
+                d.bytes.is_finite() && d.bytes >= 0.0,
+                "invalid byte count {}",
+                d.bytes
+            );
+            if d.bytes == 0.0 {
+                continue;
+            }
+            assert!(
+                platform.connected(w.gpu, d.src),
+                "GPU{} cannot read from {}",
+                w.gpu,
+                d.src
+            );
+            match totals[w.gpu].iter_mut().find(|(s, _)| *s == d.src) {
+                Some((_, b)) => *b += d.bytes,
+                None => totals[w.gpu].push((d.src, d.bytes)),
+            }
+        }
+    }
+
+    // Build groups. Chunk count adapts to small demands: a group must
+    // offer enough chunks to occupy its potential cores (real gathers
+    // parallelize at warp granularity, not at the bulk chunk size), with
+    // a floor on chunk size so tiny demands don't explode the event count.
+    const MIN_CHUNK_BYTES: f64 = 8.0 * 1024.0;
+    let mut groups: Vec<Group> = Vec::new();
+    let mut gpu_groups: Vec<Vec<usize>> = vec![Vec::new(); platform.num_gpus()];
+    for (gpu, list) in totals.iter().enumerate() {
+        for &(src, bytes) in list {
+            let by_size = (bytes / cfg.chunk_bytes).ceil().max(1.0) as u64;
+            let parallel_target = 2 * platform.gpus[gpu].sm_count as u64;
+            let by_floor = (bytes / MIN_CHUNK_BYTES).ceil().max(1.0) as u64;
+            let chunks = by_size.max(parallel_target.min(by_floor));
+            let gi = groups.len();
+            groups.push(Group {
+                gpu,
+                src,
+                path: platform.path(gpu, src),
+                chunks_left: chunks,
+                chunk_size: bytes / chunks as f64,
+                bytes_done: 0.0,
+                busy: 0.0,
+                active: 0,
+                rate: 0.0,
+            });
+            gpu_groups[gpu].push(gi);
+        }
+    }
+
+    // Build cores and per-GPU queues.
+    let mut cores: Vec<Core> = Vec::new();
+    let mut queues: Vec<GpuQueue> = Vec::new();
+    for gpu in 0..platform.num_gpus() {
+        let sm = platform.gpus[gpu].sm_count;
+        let my_groups = &gpu_groups[gpu];
+        let q = match mode {
+            DispatchMode::RandomShared { seed } => {
+                let mut tokens: Vec<usize> = Vec::new();
+                for &gi in my_groups {
+                    for _ in 0..groups[gi].chunks_left {
+                        tokens.push(gi);
+                    }
+                }
+                let mut rng = emb_util::seed_rng(split_seed(seed, gpu as u64));
+                tokens.shuffle(&mut rng);
+                // Deal shuffled chunks round-robin: equal counts per core,
+                // random composition, no stealing afterwards.
+                let mut per_core: Vec<VecDeque<usize>> = vec![VecDeque::new(); sm];
+                for (k, gi) in tokens.into_iter().enumerate() {
+                    per_core[k % sm].push_back(gi);
+                }
+                for local_idx in 0..sm {
+                    cores.push(Core {
+                        gpu,
+                        local_idx,
+                        dedicated: None,
+                        job: None,
+                    });
+                }
+                GpuQueue::Random { per_core }
+            }
+            DispatchMode::Factored { dedication } => {
+                let profile = profile_for(platform, dedication);
+                let local = my_groups
+                    .iter()
+                    .copied()
+                    .find(|&gi| groups[gi].src == Location::Gpu(gpu));
+                // Dedicate cores per non-local group with work; groups with
+                // work but zero allotted cores borrow one from the largest.
+                let mut alloc: Vec<(usize, usize)> = Vec::new(); // (group, cores)
+                let mut used = 0usize;
+                for &gi in my_groups {
+                    if Some(gi) == local {
+                        continue;
+                    }
+                    let j = profile.loc_index(groups[gi].src);
+                    let c = profile.cores[gpu][j];
+                    alloc.push((gi, c));
+                    used += c;
+                }
+                // Trim if over-allocated (host cores cap may not leave room).
+                while used > sm {
+                    let max = alloc.iter_mut().max_by_key(|(_, c)| *c).unwrap();
+                    max.1 -= 1;
+                    used -= 1;
+                }
+                // Every non-local group with pending work needs at least one
+                // core: use spare cores first, then borrow from the largest.
+                for k in 0..alloc.len() {
+                    if alloc[k].1 > 0 {
+                        continue;
+                    }
+                    if used < sm {
+                        alloc[k].1 = 1;
+                        used += 1;
+                    } else if let Some(donor) = (0..alloc.len())
+                        .filter(|&d| alloc[d].1 > 1)
+                        .max_by_key(|&d| alloc[d].1)
+                    {
+                        alloc[donor].1 -= 1;
+                        alloc[k].1 = 1;
+                    }
+                }
+                let mut assigned = 0usize;
+                for (gi, c) in &alloc {
+                    for _ in 0..*c {
+                        cores.push(Core {
+                            gpu,
+                            local_idx: assigned,
+                            dedicated: Some(*gi),
+                            job: None,
+                        });
+                        assigned += 1;
+                    }
+                }
+                for local_idx in assigned..sm {
+                    cores.push(Core {
+                        gpu,
+                        local_idx,
+                        dedicated: None,
+                        job: None,
+                    });
+                }
+                GpuQueue::Factored { local }
+            }
+            DispatchMode::Sequential => {
+                for local_idx in 0..sm {
+                    cores.push(Core {
+                        gpu,
+                        local_idx,
+                        dedicated: None,
+                        job: None,
+                    });
+                }
+                GpuQueue::Sequential {
+                    order: my_groups.clone(),
+                }
+            }
+        };
+        queues.push(q);
+    }
+
+    let take = |groups: &mut Vec<Group>, gi: usize| -> Option<(usize, f64)> {
+        let g = &mut groups[gi];
+        if g.chunks_left == 0 {
+            None
+        } else {
+            g.chunks_left -= 1;
+            Some((gi, g.chunk_size))
+        }
+    };
+
+    // Dispatch closure: next chunk for a core, or None.
+    let dispatch = |groups: &mut Vec<Group>,
+                    queues: &mut Vec<GpuQueue>,
+                    core: &Core|
+     -> Option<(usize, f64)> {
+        match &mut queues[core.gpu] {
+            GpuQueue::Random { per_core } => {
+                let gi = per_core[core.local_idx].pop_front()?;
+                take(groups, gi)
+            }
+            GpuQueue::Factored { local } => {
+                if let Some(gi) = core.dedicated {
+                    if let Some(job) = take(groups, gi) {
+                        return Some(job);
+                    }
+                }
+                let gi = (*local)?;
+                if !cfg.factored_padding {
+                    // Ablation: local runs as a barrier phase after every
+                    // non-local group of this GPU has drained.
+                    let pending_non_local = gpu_groups[core.gpu]
+                        .iter()
+                        .any(|&g| g != gi && groups[g].chunks_left > 0);
+                    if pending_non_local {
+                        return None;
+                    }
+                }
+                take(groups, gi)
+            }
+            GpuQueue::Sequential { order } => {
+                for gi in order.iter().copied() {
+                    if let Some(job) = take(groups, gi) {
+                        return Some(job);
+                    }
+                }
+                None
+            }
+        }
+    };
+
+    // Initial assignment.
+    let mut job_start = vec![0.0f64; cores.len()];
+    for ci in 0..cores.len() {
+        let job = dispatch(&mut groups, &mut queues, &cores[ci]);
+        cores[ci].job = job;
+    }
+    let mut trace = ExtractionTrace::default();
+
+    let total_chunks: u64 = groups
+        .iter()
+        .map(|g| g.chunks_left + 1) // +1 slack for merged rounding
+        .sum::<u64>()
+        + cores.iter().filter(|c| c.job.is_some()).count() as u64;
+
+    let mut now = 0.0f64; // seconds
+    let mut gpu_finish = vec![0.0f64; platform.num_gpus()];
+    let mut core_busy = vec![0.0f64; platform.num_gpus()];
+    let mut iterations: u64 = 0;
+
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= total_chunks * 4 + 64,
+            "extraction simulation failed to converge"
+        );
+
+        // Count active cores per group.
+        for g in groups.iter_mut() {
+            g.active = 0;
+        }
+        let mut any_active = false;
+        for c in &cores {
+            if let Some((gi, _)) = c.job {
+                groups[gi].active += 1;
+                any_active = true;
+            }
+        }
+        if !any_active {
+            break;
+        }
+
+        // Per-group raw rates from the congestion model.
+        for g in groups.iter_mut() {
+            g.rate = effective_bw(g.path.bw, g.path.per_core_bw, g.active, cfg.congestion);
+        }
+
+        // Source-egress sharing: switch-based GPU sources and the host.
+        let switch_based = matches!(platform.interconnect, Interconnect::Switch { .. });
+        let mut sources: Vec<Location> = groups
+            .iter()
+            .filter(|g| g.active > 0 && g.src != Location::Gpu(g.gpu))
+            .map(|g| g.src)
+            .collect();
+        sources.sort();
+        sources.dedup();
+        for src in sources {
+            let egress_applies = match src {
+                Location::Host => true,
+                Location::Gpu(_) => switch_based,
+            };
+            if !egress_applies {
+                continue;
+            }
+            let cap = match src {
+                Location::Host => {
+                    let pcie_sum = platform.outbound_bw(Location::Host);
+                    cfg.host_dram_bw.map_or(pcie_sum, |d| d.min(pcie_sum))
+                }
+                Location::Gpu(_) => platform.outbound_bw(src),
+            };
+            let readers: Vec<usize> = groups
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| g.src == src && g.src != Location::Gpu(g.gpu) && g.active > 0)
+                .map(|(i, _)| i)
+                .collect();
+            let total_cores: usize = readers.iter().map(|&i| groups[i].active).sum();
+            // Per-core bandwidth for the egress tolerance: weighted mean of
+            // the readers' per-core path bandwidths.
+            let pc: f64 = readers
+                .iter()
+                .map(|&i| groups[i].path.per_core_bw * groups[i].active as f64)
+                .sum::<f64>()
+                / total_cores.max(1) as f64;
+            let eff_cap = effective_bw(cap, pc, total_cores, cfg.congestion).min(cap);
+            let demand: f64 = readers.iter().map(|&i| groups[i].rate).sum();
+            if demand > eff_cap && demand > 0.0 {
+                let scale = eff_cap / demand;
+                for &i in &readers {
+                    groups[i].rate *= scale;
+                }
+            }
+        }
+
+        // Next completion.
+        let mut dt = f64::INFINITY;
+        for c in &cores {
+            if let Some((gi, rem)) = c.job {
+                let g = &groups[gi];
+                let r = g.rate / g.active as f64;
+                if r > 0.0 {
+                    dt = dt.min(rem / r);
+                }
+            }
+        }
+        assert!(dt.is_finite(), "no progress possible (all rates zero)");
+
+        // Advance.
+        for g in groups.iter_mut() {
+            if g.active > 0 {
+                g.busy += dt;
+                g.bytes_done += g.rate * dt;
+            }
+        }
+        now += dt;
+        let mut finished: Vec<usize> = Vec::new();
+        for (ci, c) in cores.iter_mut().enumerate() {
+            if let Some((gi, rem)) = c.job.as_mut() {
+                let g = &groups[*gi];
+                let r = g.rate / g.active as f64;
+                core_busy[c.gpu] += dt;
+                *rem -= r * dt;
+                if *rem <= 1e-6 {
+                    gpu_finish[c.gpu] = now;
+                    if record {
+                        trace.events.push(TraceEvent {
+                            gpu: c.gpu,
+                            core: c.local_idx,
+                            src: groups[*gi].src,
+                            start: job_start[ci],
+                            end: now,
+                        });
+                    }
+                    finished.push(ci);
+                }
+            }
+        }
+        for ci in finished {
+            cores[ci].job = dispatch(&mut groups, &mut queues, &cores[ci]);
+            job_start[ci] = now;
+        }
+        // Idle cores may become eligible again (e.g. the no-padding
+        // ablation releases local work once non-local groups drain).
+        for ci in 0..cores.len() {
+            if cores[ci].job.is_none() {
+                cores[ci].job = dispatch(&mut groups, &mut queues, &cores[ci]);
+                if cores[ci].job.is_some() {
+                    job_start[ci] = now;
+                }
+            }
+        }
+    }
+
+    // Assemble results.
+    let mut per_gpu: Vec<GpuExtraction> = Vec::new();
+    for w in works {
+        let gpu = w.gpu;
+        let t = if gpu_finish[gpu] > 0.0 {
+            SimTime::from_secs_f64(gpu_finish[gpu]) + cfg.launch_overhead
+        } else {
+            SimTime::ZERO
+        };
+        let per_src: Vec<LinkUse> = gpu_groups[gpu]
+            .iter()
+            .map(|&gi| {
+                let g = &groups[gi];
+                LinkUse {
+                    src: g.src,
+                    bytes: g.bytes_done,
+                    busy: SimTime::from_secs_f64(g.busy),
+                    peak_bw: g.path.bw,
+                }
+            })
+            .collect();
+        per_gpu.push(GpuExtraction {
+            gpu,
+            time: t,
+            core_busy: SimTime::from_secs_f64(core_busy[gpu]),
+            per_src,
+        });
+    }
+    let makespan = per_gpu
+        .iter()
+        .map(|g| g.time)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    (ExtractionResult { makespan, per_gpu }, trace)
+}
+
+fn profile_for(platform: &Platform, dedication: DedicationConfig) -> Profile {
+    Profile::new(platform, dedication)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_gpu_work(src: Location, bytes: f64) -> Vec<GpuWork> {
+        vec![GpuWork {
+            gpu: 0,
+            demands: vec![SourceDemand { src, bytes }],
+        }]
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            launch_overhead: SimTime::ZERO,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn local_only_matches_bandwidth() {
+        let p = Platform::server_c();
+        let bytes = 1e9;
+        let r = simulate(
+            &p,
+            &cfg(),
+            &one_gpu_work(Location::Gpu(0), bytes),
+            DispatchMode::Sequential,
+        );
+        let expect = bytes / p.gpus[0].local_bw;
+        let got = r.makespan.as_secs_f64();
+        assert!(
+            (got - expect).abs() / expect < 0.05,
+            "expected ~{expect}s got {got}s"
+        );
+    }
+
+    #[test]
+    fn host_only_is_pcie_bound() {
+        let p = Platform::server_c();
+        let bytes = 1e9;
+        let r = simulate(
+            &p,
+            &cfg(),
+            &one_gpu_work(Location::Host, bytes),
+            DispatchMode::Factored {
+                dedication: DedicationConfig::default(),
+            },
+        );
+        let expect = bytes / p.gpus[0].pcie_bw;
+        let got = r.makespan.as_secs_f64();
+        assert!(
+            (got - expect).abs() / expect < 0.10,
+            "expected ~{expect}s got {got}s"
+        );
+    }
+
+    #[test]
+    fn random_dispatch_congests_but_factored_does_not() {
+        let p = Platform::server_c();
+        // A mix with meaningful host traffic: random dispatch floods PCIe.
+        let works: Vec<GpuWork> = (0..8)
+            .map(|gpu| GpuWork {
+                gpu,
+                demands: vec![
+                    SourceDemand {
+                        src: Location::Gpu(gpu),
+                        bytes: 400e6,
+                    },
+                    SourceDemand {
+                        src: Location::Gpu((gpu + 1) % 8),
+                        bytes: 200e6,
+                    },
+                    SourceDemand {
+                        src: Location::Host,
+                        bytes: 100e6,
+                    },
+                ],
+            })
+            .collect();
+        let naive = simulate(&p, &cfg(), &works, DispatchMode::RandomShared { seed: 1 });
+        let fem = simulate(
+            &p,
+            &cfg(),
+            &works,
+            DispatchMode::Factored {
+                dedication: DedicationConfig::default(),
+            },
+        );
+        assert!(
+            fem.makespan < naive.makespan,
+            "FEM {} should beat naive {}",
+            fem.makespan,
+            naive.makespan
+        );
+    }
+
+    #[test]
+    fn zero_work_zero_time() {
+        let p = Platform::server_a();
+        let r = simulate(
+            &p,
+            &cfg(),
+            &[GpuWork {
+                gpu: 0,
+                demands: vec![],
+            }],
+            DispatchMode::Sequential,
+        );
+        assert_eq!(r.makespan, SimTime::ZERO);
+    }
+
+    #[test]
+    fn byte_accounting_is_exact() {
+        let p = Platform::server_a();
+        let works = vec![GpuWork {
+            gpu: 1,
+            demands: vec![
+                SourceDemand {
+                    src: Location::Gpu(1),
+                    bytes: 3e8,
+                },
+                SourceDemand {
+                    src: Location::Gpu(2),
+                    bytes: 2e8,
+                },
+                SourceDemand {
+                    src: Location::Host,
+                    bytes: 1e8,
+                },
+            ],
+        }];
+        let r = simulate(
+            &p,
+            &cfg(),
+            &works,
+            DispatchMode::Factored {
+                dedication: DedicationConfig::default(),
+            },
+        );
+        let g = &r.per_gpu[0];
+        assert!((g.bytes_from(Location::Gpu(1)) - 3e8).abs() < 1e3);
+        assert!((g.bytes_from(Location::Gpu(2)) - 2e8).abs() < 1e3);
+        assert!((g.bytes_from(Location::Host) - 1e8).abs() < 1e3);
+    }
+
+    #[test]
+    fn merged_duplicate_sources() {
+        let p = Platform::server_a();
+        let works = vec![GpuWork {
+            gpu: 0,
+            demands: vec![
+                SourceDemand {
+                    src: Location::Gpu(2),
+                    bytes: 1e8,
+                },
+                SourceDemand {
+                    src: Location::Gpu(2),
+                    bytes: 1e8,
+                },
+            ],
+        }];
+        let r = simulate(&p, &cfg(), &works, DispatchMode::Sequential);
+        assert!((r.per_gpu[0].bytes_from(Location::Gpu(2)) - 2e8).abs() < 1e3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot read")]
+    fn unreachable_source_panics() {
+        let p = Platform::server_b();
+        let _ = simulate(
+            &p,
+            &cfg(),
+            &one_gpu_work(Location::Gpu(5), 1e6),
+            DispatchMode::Sequential,
+        );
+    }
+
+    #[test]
+    fn switch_egress_collision_slows_readers() {
+        let p = Platform::server_c();
+        // GPUs 1..=4 all hammer GPU 0.
+        let collide: Vec<GpuWork> = (1..=4)
+            .map(|gpu| GpuWork {
+                gpu,
+                demands: vec![SourceDemand {
+                    src: Location::Gpu(0),
+                    bytes: 500e6,
+                }],
+            })
+            .collect();
+        let spread: Vec<GpuWork> = (1..=4)
+            .map(|gpu| GpuWork {
+                gpu,
+                demands: vec![SourceDemand {
+                    src: Location::Gpu(5),
+                    bytes: 500e6,
+                }],
+            })
+            .collect();
+        // Spread over distinct sources would be as bad or worse if egress
+        // sharing were not modelled; with it, colliding on one source is
+        // clearly slower than each reading its own remote.
+        let spread_each: Vec<GpuWork> = (1..=4)
+            .map(|gpu| GpuWork {
+                gpu,
+                demands: vec![SourceDemand {
+                    src: Location::Gpu(gpu + 3),
+                    bytes: 500e6,
+                }],
+            })
+            .collect();
+        let _ = spread;
+        let t_collide = simulate(&p, &cfg(), &collide, DispatchMode::Sequential).makespan;
+        let t_spread = simulate(&p, &cfg(), &spread_each, DispatchMode::Sequential).makespan;
+        assert!(
+            t_collide > t_spread.mul_f64(1.5),
+            "collide {} vs spread {}",
+            t_collide,
+            t_spread
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let p = Platform::server_c();
+        let works: Vec<GpuWork> = (0..8)
+            .map(|gpu| GpuWork {
+                gpu,
+                demands: vec![
+                    SourceDemand {
+                        src: Location::Gpu(gpu),
+                        bytes: 1e8,
+                    },
+                    SourceDemand {
+                        src: Location::Host,
+                        bytes: 5e7,
+                    },
+                ],
+            })
+            .collect();
+        let a = simulate(&p, &cfg(), &works, DispatchMode::RandomShared { seed: 9 });
+        let b = simulate(&p, &cfg(), &works, DispatchMode::RandomShared { seed: 9 });
+        assert_eq!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn padding_beats_barrier_local_phase() {
+        let p = Platform::server_c();
+        // Meaningful local work plus uneven non-local work: padding lets
+        // drained cores start local early; the barrier variant waits.
+        let works: Vec<GpuWork> = (0..8)
+            .map(|gpu| GpuWork {
+                gpu,
+                demands: vec![
+                    SourceDemand {
+                        src: Location::Gpu(gpu),
+                        bytes: 800e6,
+                    },
+                    SourceDemand {
+                        src: Location::Gpu((gpu + 1) % 8),
+                        bytes: 100e6,
+                    },
+                    SourceDemand {
+                        src: Location::Host,
+                        bytes: 60e6,
+                    },
+                ],
+            })
+            .collect();
+        let mode = DispatchMode::Factored {
+            dedication: DedicationConfig::default(),
+        };
+        let with = simulate(&p, &cfg(), &works, mode);
+        let mut no_pad = cfg();
+        no_pad.factored_padding = false;
+        let without = simulate(&p, &no_pad, &works, mode);
+        assert!(
+            with.makespan < without.makespan,
+            "padding {} should beat barrier {}",
+            with.makespan,
+            without.makespan
+        );
+        // Bytes identical either way.
+        let b = |r: &ExtractionResult| -> f64 {
+            r.per_gpu
+                .iter()
+                .flat_map(|g| g.per_src.iter())
+                .map(|u| u.bytes)
+                .sum()
+        };
+        assert!((b(&with) - b(&without)).abs() < 1e3);
+    }
+
+    #[test]
+    fn launch_overhead_is_added() {
+        let p = Platform::server_a();
+        let mut c = cfg();
+        c.launch_overhead = SimTime::from_micros(100);
+        let r = simulate(
+            &p,
+            &c,
+            &one_gpu_work(Location::Gpu(0), 1e6),
+            DispatchMode::Sequential,
+        );
+        assert!(r.makespan >= SimTime::from_micros(100));
+    }
+}

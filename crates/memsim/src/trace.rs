@@ -1,0 +1,223 @@
+//! Execution traces: who was reading what, when.
+//!
+//! [`crate::engine::simulate_traced`] records one event per completed
+//! chunk — `(gpu, core, source, start, end)` — which is enough to rebuild
+//! the factored-extraction schedule the paper sketches in Figure 8:
+//! dedicated groups ticking along their links, local padding filling the
+//! drained cores' tails.
+
+use gpu_platform::Location;
+use serde::{Deserialize, Serialize};
+
+/// One chunk's lifetime on one core.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Destination GPU.
+    pub gpu: usize,
+    /// Core index within the GPU.
+    pub core: usize,
+    /// Source the chunk was read from.
+    pub src: Location,
+    /// Start time (seconds).
+    pub start: f64,
+    /// End time (seconds).
+    pub end: f64,
+}
+
+/// A full extraction trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExtractionTrace {
+    /// All chunk events, in completion order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl ExtractionTrace {
+    /// Wall-clock end of the last event (0 when empty).
+    pub fn makespan(&self) -> f64 {
+        self.events.iter().map(|e| e.end).fold(0.0, f64::max)
+    }
+
+    /// Core-seconds spent per source on one GPU.
+    pub fn busy_per_source(&self, gpu: usize) -> Vec<(Location, f64)> {
+        let mut acc: Vec<(Location, f64)> = Vec::new();
+        for e in self.events.iter().filter(|e| e.gpu == gpu) {
+            let d = e.end - e.start;
+            match acc.iter_mut().find(|(s, _)| *s == e.src) {
+                Some((_, t)) => *t += d,
+                None => acc.push((e.src, d)),
+            }
+        }
+        acc
+    }
+
+    /// Mean core utilization of one GPU over the trace's makespan, given
+    /// its SM count.
+    pub fn core_utilization(&self, gpu: usize, sm_count: usize) -> f64 {
+        let span = self.makespan();
+        if span <= 0.0 || sm_count == 0 {
+            return 0.0;
+        }
+        let busy: f64 = self
+            .events
+            .iter()
+            .filter(|e| e.gpu == gpu)
+            .map(|e| e.end - e.start)
+            .sum();
+        busy / (span * sm_count as f64)
+    }
+
+    /// Samples, at `buckets` evenly spaced instants, how many of `gpu`'s
+    /// cores were reading each source. Rows are `(time, counts)` with
+    /// `counts` parallel to `sources`.
+    pub fn occupancy_timeline(
+        &self,
+        gpu: usize,
+        sources: &[Location],
+        buckets: usize,
+    ) -> Vec<(f64, Vec<usize>)> {
+        let span = self.makespan();
+        if span <= 0.0 || buckets == 0 {
+            return Vec::new();
+        }
+        let evs: Vec<&TraceEvent> = self.events.iter().filter(|e| e.gpu == gpu).collect();
+        (0..buckets)
+            .map(|b| {
+                let t = span * (b as f64 + 0.5) / buckets as f64;
+                let counts = sources
+                    .iter()
+                    .map(|&s| {
+                        evs.iter()
+                            .filter(|e| e.src == s && e.start <= t && t < e.end)
+                            .count()
+                    })
+                    .collect();
+                (t, counts)
+            })
+            .collect()
+    }
+
+    /// Renders an ASCII occupancy chart for one GPU (rows = sources,
+    /// columns = time; glyph density encodes active core count).
+    pub fn render_occupancy(
+        &self,
+        gpu: usize,
+        sources: &[Location],
+        width: usize,
+        max_cores: usize,
+    ) -> String {
+        let timeline = self.occupancy_timeline(gpu, sources, width);
+        if timeline.is_empty() {
+            return String::from("(empty trace)\n");
+        }
+        let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+        let mut out = String::new();
+        for (si, s) in sources.iter().enumerate() {
+            out.push_str(&format!("{:>6} |", s.to_string()));
+            for (_, counts) in &timeline {
+                let c = counts[si];
+                let level = if max_cores == 0 {
+                    0
+                } else {
+                    ((c * (glyphs.len() - 1)).div_ceil(max_cores)).min(glyphs.len() - 1)
+                };
+                out.push(glyphs[level]);
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{:>6}  0{}{}s\n",
+            "t=",
+            " ".repeat(width.saturating_sub(8)),
+            format_args!("{:.2e}", self.makespan())
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate_traced, DispatchMode, GpuWork, SimConfig, SourceDemand};
+    use emb_util::SimTime;
+    use gpu_platform::{DedicationConfig, Platform};
+
+    fn traced() -> (crate::engine::ExtractionResult, ExtractionTrace) {
+        let p = Platform::server_a();
+        let works = vec![GpuWork {
+            gpu: 0,
+            demands: vec![
+                SourceDemand {
+                    src: Location::Gpu(0),
+                    bytes: 200e6,
+                },
+                SourceDemand {
+                    src: Location::Gpu(1),
+                    bytes: 100e6,
+                },
+                SourceDemand {
+                    src: Location::Host,
+                    bytes: 50e6,
+                },
+            ],
+        }];
+        let cfg = SimConfig {
+            launch_overhead: SimTime::ZERO,
+            ..SimConfig::default()
+        };
+        simulate_traced(
+            &p,
+            &cfg,
+            &works,
+            DispatchMode::Factored {
+                dedication: DedicationConfig::default(),
+            },
+        )
+    }
+
+    #[test]
+    fn trace_covers_all_bytes_and_matches_makespan() {
+        let (res, trace) = traced();
+        assert!(!trace.events.is_empty());
+        let span = trace.makespan();
+        assert!((span - res.makespan.as_secs_f64()).abs() < 1e-9);
+        // Busy per source is positive for all three sources.
+        let busy = trace.busy_per_source(0);
+        assert_eq!(busy.len(), 3);
+        for (_, t) in busy {
+            assert!(t > 0.0);
+        }
+    }
+
+    #[test]
+    fn events_are_well_formed() {
+        let (_, trace) = traced();
+        for e in &trace.events {
+            assert!(e.end >= e.start);
+            assert_eq!(e.gpu, 0);
+            assert!(e.core < 80);
+        }
+    }
+
+    #[test]
+    fn occupancy_and_render() {
+        let (_, trace) = traced();
+        let sources = [Location::Gpu(0), Location::Gpu(1), Location::Host];
+        let tl = trace.occupancy_timeline(0, &sources, 20);
+        assert_eq!(tl.len(), 20);
+        // Host group is bounded by its dedication (≤ ~8 cores).
+        for (_, counts) in &tl {
+            assert!(counts[2] <= 10, "host cores {}", counts[2]);
+        }
+        let art = trace.render_occupancy(0, &sources, 40, 80);
+        assert!(art.lines().count() >= 4);
+        assert!(art.contains("Host"));
+    }
+
+    #[test]
+    fn utilization_in_unit_range() {
+        let (_, trace) = traced();
+        let u = trace.core_utilization(0, 80);
+        assert!((0.0..=1.0).contains(&u), "{u}");
+        assert!(u > 0.05);
+    }
+}

@@ -1,0 +1,28 @@
+//! A self-contained (MI)LP solver: the reproduction's Gurobi substitute.
+//!
+//! UGache models cache placement as a mixed-integer linear program
+//! (paper §6.2) and hands it to an off-the-shelf solver. This crate
+//! implements the required machinery from scratch:
+//!
+//! * [`Model`] — a small modelling API (variables with bounds and
+//!   integrality, linear constraints, a linear objective to minimize);
+//! * [`simplex`] — a dense *bounded-variable* primal simplex with a
+//!   two-phase start, so `0 ≤ x ≤ 1` binaries do not blow up the row
+//!   count;
+//! * [`branch`] — best-first branch-and-bound over the LP relaxation with
+//!   most-fractional branching and node limits.
+//!
+//! Scale note: UGache's block batching (§6.3) keeps instances at
+//! hundreds-to-thousands of variables, which a dense simplex handles in
+//! seconds. The policy crate additionally exploits that *fractional*
+//! block placements are realizable (a block can be split), so the LP
+//! relaxation is usually the final answer and branch-and-bound is only
+//! exercised for per-entry "theoretically optimal" baselines (Figure 16).
+
+pub mod branch;
+pub mod model;
+pub mod simplex;
+
+pub use branch::{solve_milp, MilpOptions, MilpResult, MilpStatus};
+pub use model::{ConstraintSense, LinExpr, Model, VarId};
+pub use simplex::{solve_lp, LpResult, LpStatus};

@@ -1,0 +1,258 @@
+//! Log-scale hotness batching (§6.3, Figure 9).
+//!
+//! Entries with similar hotness get near-identical placement decisions,
+//! so the solver groups them into *blocks* and decides per block. Levels
+//! are log-scale in hotness (a 110→120 difference matters less than
+//! 10→20); within a level, block size is capped both coarsely (a fixed
+//! fraction of all entries, bounding cold-tail blocks) and finely (each
+//! level splits into at least `min_splits` blocks so low cache ratios can
+//! still place sub-level fractions).
+
+use crate::types::Hotness;
+use serde::{Deserialize, Serialize};
+
+/// Block-building tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlockConfig {
+    /// Maximum block size as a fraction of total entries (paper: 0.5 %).
+    pub coarse_cap: f64,
+    /// Minimum number of blocks per hotness level (paper: the GPU count).
+    pub min_splits: usize,
+    /// Upper bound on total blocks; adjacent same-level blocks are merged
+    /// to respect it (keeps the LP small on huge entry counts).
+    pub max_blocks: usize,
+}
+
+impl Default for BlockConfig {
+    fn default() -> Self {
+        BlockConfig {
+            coarse_cap: 0.005,
+            min_splits: 8,
+            max_blocks: 256,
+        }
+    }
+}
+
+/// A group of entries with similar hotness, placed as a unit (possibly
+/// split fractionally by the solver).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Entry ids, hottest first.
+    pub entries: Vec<u32>,
+    /// Summed *normalized* hotness of the entries.
+    pub weight: f64,
+    /// Log-scale hotness level (0 = hottest).
+    pub level: u32,
+}
+
+impl Block {
+    /// Number of entries in the block.
+    pub fn size(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Batches entries into hotness blocks.
+///
+/// Zero-hotness entries form the final level. The concatenation of all
+/// blocks' entries is a permutation of `0..E`, ordered hottest-first.
+pub fn build_blocks(hotness: &Hotness, cfg: &BlockConfig) -> Vec<Block> {
+    let e = hotness.len();
+    if e == 0 {
+        return Vec::new();
+    }
+    let norm = hotness.normalized();
+    let ranking = hotness.ranking();
+    let h_max = hotness.weights[ranking[0] as usize];
+
+    // Assign levels on a log2 scale relative to the hottest entry.
+    const ZERO_LEVEL: u32 = u32::MAX;
+    let level_of = |w: f64| -> u32 {
+        if w <= 0.0 || h_max <= 0.0 {
+            ZERO_LEVEL
+        } else {
+            (h_max / w).log2().floor().max(0.0).min(60.0) as u32
+        }
+    };
+
+    // Walk the ranking, cutting level runs into capped blocks.
+    let coarse = ((cfg.coarse_cap * e as f64).ceil() as usize).max(1);
+    let mut blocks: Vec<Block> = Vec::new();
+    let mut i = 0usize;
+    while i < e {
+        let lvl = level_of(hotness.weights[ranking[i] as usize]);
+        let mut j = i;
+        while j < e && level_of(hotness.weights[ranking[j] as usize]) == lvl {
+            j += 1;
+        }
+        let count = j - i;
+        // Fine split: at least `min_splits` blocks per level (floor-based
+        // so the remainder becomes an extra block); coarse cap on top.
+        let per_block = (count / cfg.min_splits.max(1)).clamp(1, coarse);
+        let mut s = i;
+        while s < j {
+            let t = (s + per_block).min(j);
+            let entries: Vec<u32> = ranking[s..t].to_vec();
+            let weight: f64 = entries.iter().map(|&id| norm[id as usize]).sum();
+            blocks.push(Block {
+                entries,
+                weight,
+                level: if lvl == ZERO_LEVEL { 61 } else { lvl },
+            });
+            s = t;
+        }
+        i = j;
+    }
+
+    // Merge pass to respect max_blocks: repeatedly merge the smallest
+    // adjacent same-level pair.
+    while blocks.len() > cfg.max_blocks.max(1) {
+        let mut best: Option<(usize, usize)> = None; // (index, combined size)
+        for k in 0..blocks.len() - 1 {
+            if blocks[k].level != blocks[k + 1].level {
+                continue;
+            }
+            let sz = blocks[k].size() + blocks[k + 1].size();
+            if best.map_or(true, |(_, s)| sz < s) {
+                best = Some((k, sz));
+            }
+        }
+        let Some((k, _)) = best else {
+            // No same-level pair left: merge the smallest adjacent pair of
+            // different levels (keeps termination guaranteed).
+            let k = (0..blocks.len() - 1)
+                .min_by_key(|&k| blocks[k].size() + blocks[k + 1].size())
+                .expect("at least two blocks");
+            let b = blocks.remove(k + 1);
+            blocks[k].entries.extend(b.entries);
+            blocks[k].weight += b.weight;
+            continue;
+        };
+        let b = blocks.remove(k + 1);
+        blocks[k].entries.extend(b.entries);
+        blocks[k].weight += b.weight;
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emb_util::zipf::powerlaw_hotness;
+
+    fn powerlaw(n: usize) -> Hotness {
+        Hotness::new(powerlaw_hotness(n, 1.2))
+    }
+
+    #[test]
+    fn blocks_partition_all_entries() {
+        let h = powerlaw(10_000);
+        let blocks = build_blocks(&h, &BlockConfig::default());
+        let mut all: Vec<u32> = blocks.iter().flat_map(|b| b.entries.clone()).collect();
+        assert_eq!(all.len(), 10_000);
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 10_000);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let h = powerlaw(5_000);
+        let blocks = build_blocks(&h, &BlockConfig::default());
+        let total: f64 = blocks.iter().map(|b| b.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hot_levels_are_finely_split() {
+        let h = powerlaw(100_000);
+        let cfg = BlockConfig {
+            min_splits: 8,
+            ..Default::default()
+        };
+        let blocks = build_blocks(&h, &cfg);
+        // Level 0 (hottest) must have at least min_splits blocks unless it
+        // has fewer entries than that.
+        let l0: Vec<&Block> = blocks.iter().filter(|b| b.level == 0).collect();
+        let l0_entries: usize = l0.iter().map(|b| b.size()).sum();
+        if l0_entries >= cfg.min_splits {
+            assert!(
+                l0.len() >= cfg.min_splits,
+                "level 0 has {} blocks",
+                l0.len()
+            );
+        }
+    }
+
+    #[test]
+    fn coarse_cap_bounds_cold_blocks() {
+        let h = powerlaw(100_000);
+        let cfg = BlockConfig {
+            max_blocks: 10_000,
+            ..Default::default()
+        };
+        let blocks = build_blocks(&h, &cfg);
+        let cap = (0.005f64 * 100_000.0).ceil() as usize;
+        for b in &blocks {
+            assert!(
+                b.size() <= cap,
+                "block of {} exceeds coarse cap {cap}",
+                b.size()
+            );
+        }
+    }
+
+    #[test]
+    fn max_blocks_respected() {
+        let h = powerlaw(200_000);
+        let cfg = BlockConfig {
+            max_blocks: 64,
+            ..Default::default()
+        };
+        let blocks = build_blocks(&h, &cfg);
+        assert!(blocks.len() <= 64, "{} blocks", blocks.len());
+        let total: usize = blocks.iter().map(|b| b.size()).sum();
+        assert_eq!(total, 200_000);
+    }
+
+    #[test]
+    fn blocks_are_hotness_ordered() {
+        let h = powerlaw(10_000);
+        let blocks = build_blocks(&h, &BlockConfig::default());
+        for w in blocks.windows(2) {
+            let a = w[0].weight / w[0].size() as f64;
+            let b = w[1].weight / w[1].size() as f64;
+            assert!(a >= b * 0.999, "blocks out of order: {a} then {b}");
+        }
+    }
+
+    #[test]
+    fn zero_hotness_entries_form_tail_level() {
+        let mut w = vec![0.0; 100];
+        w[3] = 5.0;
+        w[7] = 1.0;
+        let h = Hotness::new(w);
+        let blocks = build_blocks(
+            &h,
+            &BlockConfig {
+                min_splits: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(blocks[0].entries[0], 3);
+        let tail: usize = blocks
+            .iter()
+            .filter(|b| b.level == 61)
+            .map(|b| b.size())
+            .sum();
+        assert_eq!(tail, 98);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(build_blocks(&Hotness::new(vec![]), &BlockConfig::default()).is_empty());
+        let one = build_blocks(&Hotness::new(vec![2.0]), &BlockConfig::default());
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].entries, vec![0]);
+    }
+}

@@ -1,0 +1,35 @@
+//! Cache placement policies for multi-GPU embedding caches.
+//!
+//! This crate implements the paper's §6 (the Solver) plus every baseline
+//! policy the evaluation compares against:
+//!
+//! * [`Placement`] — the ground truth both layers share: which entries
+//!   each GPU stores and where each GPU reads each entry from (the
+//!   `<GPU_i, Offset>` hashtable abstraction of §4);
+//! * [`baselines`] — replication (HPS/GNNLab-style), partition
+//!   (WholeGraph/SOK-style), clique partition (Quiver-style), CPU-only,
+//!   and the hot-replicate/warm-partition heuristic of [Song & Jiang,
+//!   ICS'22];
+//! * [`blocks`] — log-scale hotness batching with coarse/fine size caps
+//!   (§6.3, Figure 9);
+//! * [`estimate`] — the extraction-time model of §6.2 (`T_{i←j}`, hotness
+//!   weights, the `R`-weighted padding bound);
+//! * [`solver`] — the UGache solver: a pattern LP over hotness blocks
+//!   (fractional block placement is realizable by splitting blocks, so
+//!   the LP relaxation is exact at block granularity);
+//! * [`optimal`] — the paper's full MILP (binary `a`/`s` per block or per
+//!   entry) via branch-and-bound, used for the Figure 16 "theoretically
+//!   optimal" comparison and for cross-validating the solver.
+
+pub mod baselines;
+pub mod blocks;
+pub mod estimate;
+pub mod optimal;
+pub mod patterns;
+pub mod solver;
+pub mod types;
+
+pub use blocks::{build_blocks, Block, BlockConfig};
+pub use estimate::{estimate_extraction_time, TimeEstimate};
+pub use solver::{SolverConfig, UGacheSolver};
+pub use types::{Hotness, Placement, SourceIdx};

@@ -1,0 +1,328 @@
+//! Placement patterns: the realizable building blocks of the solver.
+//!
+//! A *pattern* describes one way to lay a set of entries across the
+//! machine — "replicate on k of G GPUs round-robin", "partition within
+//! each clique", "leave on host" — together with the storage fraction it
+//! consumes per GPU and the per-`(dst, src)` read fractions it induces.
+//! Any convex combination of patterns is realizable by splitting a block
+//! proportionally, which is why the solver can work with an LP instead of
+//! the paper's MILP at block granularity (see crate docs).
+
+use gpu_platform::{Interconnect, Location, Platform};
+use serde::{Deserialize, Serialize};
+
+/// What a pattern does with its entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PatternKind {
+    /// Not cached; every GPU reads from host.
+    Host,
+    /// Stored on `k` of the `G` GPUs, round-robin (uniform platforms).
+    RepK {
+        /// Copies per entry, `1..=G`.
+        k: usize,
+    },
+    /// Stored on `k` GPUs *within each fully-connected clique*
+    /// (non-uniform platforms; reads never cross cliques).
+    CliqueRepK {
+        /// Copies per entry per clique, `1..=min clique size`.
+        k: usize,
+    },
+}
+
+/// A placement pattern with its precomputed aggregate effects.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pattern {
+    /// The structural rule.
+    pub kind: PatternKind,
+    /// `store_frac[j]`: expected fraction of the pattern's entries stored
+    /// on GPU `j`.
+    pub store_frac: Vec<f64>,
+    /// `read_frac[i][j]`: fraction of GPU `i`'s reads of pattern entries
+    /// served by source `j` (`j == G` is host). Rows sum to 1.
+    pub read_frac: Vec<Vec<f64>>,
+}
+
+/// Whether every GPU pair is connected with identical bandwidth.
+pub fn is_uniform(platform: &Platform) -> bool {
+    match &platform.interconnect {
+        Interconnect::Switch { .. } => true,
+        Interconnect::HardWired { pair_bw } => {
+            let g = platform.num_gpus();
+            if g <= 1 {
+                return true;
+            }
+            let mut reference: Option<f64> = None;
+            for i in 0..g {
+                for j in 0..g {
+                    if i == j {
+                        continue;
+                    }
+                    let bw = pair_bw[i][j];
+                    if bw <= 0.0 {
+                        return false;
+                    }
+                    match reference {
+                        None => reference = Some(bw),
+                        Some(r) if (bw - r).abs() > 1e-6 => return false,
+                        _ => {}
+                    }
+                }
+            }
+            true
+        }
+    }
+}
+
+/// Generates the pattern set for a platform.
+///
+/// Uniform platforms get `Host` plus `RepK{1..=G}`; non-uniform ones get
+/// `Host` plus `CliqueRepK{1..=c}` (where `c` is the smallest clique
+/// size). `RepK{G}` / `CliqueRepK{c}` are full replication.
+pub fn generate_patterns(platform: &Platform) -> Vec<Pattern> {
+    let g = platform.num_gpus();
+    let host = g;
+    let mut out = Vec::new();
+
+    // Host pattern.
+    let mut host_read = vec![vec![0.0; g + 1]; g];
+    for row in host_read.iter_mut() {
+        row[host] = 1.0;
+    }
+    out.push(Pattern {
+        kind: PatternKind::Host,
+        store_frac: vec![0.0; g],
+        read_frac: host_read,
+    });
+
+    if is_uniform(platform) {
+        for k in 1..=g {
+            let mut read = vec![vec![0.0; g + 1]; g];
+            for (i, row) in read.iter_mut().enumerate() {
+                let local = k as f64 / g as f64;
+                row[i] = local;
+                if g > 1 {
+                    let per_remote = (1.0 - local) / (g - 1) as f64;
+                    for (j, cell) in row.iter_mut().take(g).enumerate() {
+                        if j != i {
+                            *cell = per_remote;
+                        }
+                    }
+                }
+            }
+            out.push(Pattern {
+                kind: PatternKind::RepK { k },
+                store_frac: vec![k as f64 / g as f64; g],
+                read_frac: read,
+            });
+        }
+    } else {
+        let cliques = platform.fully_connected_groups();
+        let min_c = cliques.iter().map(|c| c.len()).min().unwrap_or(1);
+        // Clique id per GPU.
+        let mut clique_of = vec![0usize; g];
+        for (q, members) in cliques.iter().enumerate() {
+            for &m in members {
+                clique_of[m] = q;
+            }
+        }
+        for k in 1..=min_c {
+            let mut store = vec![0.0; g];
+            let mut read = vec![vec![0.0; g + 1]; g];
+            for i in 0..g {
+                let c = cliques[clique_of[i]].len();
+                let k_eff = k.min(c);
+                store[i] = k_eff as f64 / c as f64;
+                let local = k_eff as f64 / c as f64;
+                read[i][i] = local;
+                if c > 1 {
+                    let per_sib = (1.0 - local) / (c - 1) as f64;
+                    for &j in &cliques[clique_of[i]] {
+                        if j != i {
+                            read[i][j] = per_sib;
+                        }
+                    }
+                }
+            }
+            out.push(Pattern {
+                kind: PatternKind::CliqueRepK { k },
+                store_frac: store,
+                read_frac: read,
+            });
+        }
+    }
+    out
+}
+
+impl Pattern {
+    /// Storage locations for the entry at block-local position `r`
+    /// (deterministic round-robin; empty for `Host`).
+    pub fn holders(&self, platform: &Platform, r: usize) -> Vec<usize> {
+        let g = platform.num_gpus();
+        match self.kind {
+            PatternKind::Host => vec![],
+            PatternKind::RepK { k } => (0..k).map(|m| (r + m) % g).collect(),
+            PatternKind::CliqueRepK { k } => {
+                let cliques = platform.fully_connected_groups();
+                let mut out = Vec::new();
+                for members in &cliques {
+                    let c = members.len();
+                    let k_eff = k.min(c);
+                    for m in 0..k_eff {
+                        out.push(members[(r + m) % c]);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// The source GPU `i` reads the entry at position `r` from, given the
+    /// holders computed by [`Pattern::holders`]. `None` means host.
+    pub fn source_for(
+        &self,
+        platform: &Platform,
+        gpu: usize,
+        r: usize,
+        holders: &[usize],
+    ) -> Option<usize> {
+        if holders.is_empty() {
+            return None;
+        }
+        if holders.contains(&gpu) {
+            return Some(gpu);
+        }
+        // Reachable holders only; pick deterministically but spread by
+        // (gpu + r) to balance source egress.
+        let reachable: Vec<usize> = holders
+            .iter()
+            .copied()
+            .filter(|&h| platform.connected(gpu, Location::Gpu(h)))
+            .collect();
+        if reachable.is_empty() {
+            return None;
+        }
+        Some(reachable[(gpu + r) % reachable.len()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniformity_detection() {
+        assert!(is_uniform(&Platform::server_a()));
+        assert!(!is_uniform(&Platform::server_b()));
+        assert!(is_uniform(&Platform::server_c()));
+    }
+
+    #[test]
+    fn uniform_pattern_set_shape() {
+        let p = Platform::server_c();
+        let pats = generate_patterns(&p);
+        // Host + RepK{1..=8}.
+        assert_eq!(pats.len(), 9);
+        assert_eq!(pats[0].kind, PatternKind::Host);
+        assert_eq!(pats[8].kind, PatternKind::RepK { k: 8 });
+    }
+
+    #[test]
+    fn read_fractions_sum_to_one() {
+        for plat in [
+            Platform::server_a(),
+            Platform::server_b(),
+            Platform::server_c(),
+        ] {
+            for pat in generate_patterns(&plat) {
+                for (i, row) in pat.read_frac.iter().enumerate() {
+                    let s: f64 = row.iter().sum();
+                    assert!(
+                        (s - 1.0).abs() < 1e-9,
+                        "{:?} row {i} sums to {s} on {}",
+                        pat.kind,
+                        plat.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_replication_reads_locally() {
+        let p = Platform::server_c();
+        let pats = generate_patterns(&p);
+        let rep = pats
+            .iter()
+            .find(|p| p.kind == PatternKind::RepK { k: 8 })
+            .unwrap();
+        for i in 0..8 {
+            assert!((rep.read_frac[i][i] - 1.0).abs() < 1e-12);
+            assert_eq!(rep.store_frac[i], 1.0);
+        }
+    }
+
+    #[test]
+    fn clique_patterns_never_cross_cliques() {
+        let p = Platform::server_b();
+        let pats = generate_patterns(&p);
+        assert!(pats
+            .iter()
+            .any(|p| p.kind == PatternKind::CliqueRepK { k: 1 }));
+        for pat in &pats {
+            if pat.kind == PatternKind::Host {
+                continue;
+            }
+            // GPU0 (clique {0,1,2,3}) must never read from 4..8.
+            for j in 4..8 {
+                assert_eq!(pat.read_frac[0][j], 0.0, "{:?}", pat.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn holders_respect_k_and_are_in_range() {
+        let p = Platform::server_c();
+        let pats = generate_patterns(&p);
+        let rep3 = pats
+            .iter()
+            .find(|p| p.kind == PatternKind::RepK { k: 3 })
+            .unwrap();
+        for r in 0..32 {
+            let h = rep3.holders(&p, r);
+            assert_eq!(h.len(), 3);
+            assert!(h.iter().all(|&x| x < 8));
+        }
+    }
+
+    #[test]
+    fn source_for_prefers_local_and_respects_topology() {
+        let pb = Platform::server_b();
+        let pats = generate_patterns(&pb);
+        let c1 = pats
+            .iter()
+            .find(|p| p.kind == PatternKind::CliqueRepK { k: 1 })
+            .unwrap();
+        for r in 0..16 {
+            let holders = c1.holders(&pb, r);
+            for gpu in 0..8 {
+                match c1.source_for(&pb, gpu, r, &holders) {
+                    Some(src) => {
+                        assert!(pb.connected(gpu, Location::Gpu(src)));
+                        if holders.contains(&gpu) {
+                            assert_eq!(src, gpu);
+                        }
+                    }
+                    None => panic!("clique pattern must always find a source"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn host_pattern_has_no_holders() {
+        let p = Platform::server_a();
+        let pats = generate_patterns(&p);
+        assert!(pats[0].holders(&p, 5).is_empty());
+        assert_eq!(pats[0].source_for(&p, 1, 5, &[]), None);
+    }
+}

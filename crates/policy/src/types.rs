@@ -1,0 +1,342 @@
+//! Core data types shared by all policies.
+
+use gpu_platform::Location;
+use serde::{Deserialize, Serialize};
+
+/// Compact source index: `0..G` are GPUs, `G` is host.
+pub type SourceIdx = u8;
+
+/// Per-entry access-frequency weights (the paper's hotness metric, §6.1).
+///
+/// Weights are relative; [`Hotness::normalized`] returns each entry's
+/// share of total accesses. Applications may supply measured frequencies
+/// (pre-sampling epoch counts, vertex degrees, Zipf masses) directly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hotness {
+    /// Non-negative weight per entry.
+    pub weights: Vec<f64>,
+}
+
+impl Hotness {
+    /// Wraps raw weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative or non-finite.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "hotness weights must be finite and non-negative"
+        );
+        Hotness { weights }
+    }
+
+    /// Builds hotness from integer access counts.
+    pub fn from_counts(counts: &[u64]) -> Self {
+        Hotness {
+            weights: counts.iter().map(|&c| c as f64).collect(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Total weight.
+    pub fn total(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Per-entry share of total accesses (all zeros if total is 0).
+    pub fn normalized(&self) -> Vec<f64> {
+        let t = self.total();
+        if t <= 0.0 {
+            return vec![0.0; self.len()];
+        }
+        self.weights.iter().map(|w| w / t).collect()
+    }
+
+    /// Adjusts hotness for per-batch key deduplication.
+    ///
+    /// Extraction serves each *distinct* key in a batch once, so the
+    /// traffic an entry contributes is its probability of *appearing* in
+    /// a batch, not its raw draw frequency — for hot entries those differ
+    /// wildly once batches are large relative to the key domain.
+    /// Poissonizing draws, the appearance probability is
+    /// `1 − exp(−λ·p_e)` with `λ` calibrated (by bisection) so the
+    /// expected number of distinct keys per batch equals
+    /// `unique_per_batch`. The returned weights are those probabilities.
+    ///
+    /// Ranking is preserved; only magnitudes saturate.
+    pub fn dedup_adjusted(&self, unique_per_batch: f64) -> Hotness {
+        let e = self.len();
+        let total = self.total();
+        if e == 0 || total <= 0.0 || unique_per_batch <= 0.0 {
+            return self.clone();
+        }
+        let target = unique_per_batch.min(e as f64 * 0.999_999);
+        let p: Vec<f64> = self.weights.iter().map(|w| w / total).collect();
+        let uniques = |lambda: f64| -> f64 { p.iter().map(|&pi| 1.0 - (-lambda * pi).exp()).sum() };
+        // Bracket λ.
+        let mut lo = 0.0f64;
+        let mut hi = target.max(1.0);
+        let mut guard = 0;
+        while uniques(hi) < target {
+            hi *= 2.0;
+            guard += 1;
+            if guard > 200 {
+                break;
+            }
+        }
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if uniques(mid) < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let lambda = 0.5 * (lo + hi);
+        Hotness::new(p.iter().map(|&pi| 1.0 - (-lambda * pi).exp()).collect())
+    }
+
+    /// Entry indices sorted hottest-first (ties by index for determinism).
+    pub fn ranking(&self) -> Vec<u32> {
+        let mut idx: Vec<u32> = (0..self.len() as u32).collect();
+        idx.sort_by(|&a, &b| {
+            self.weights[b as usize]
+                .partial_cmp(&self.weights[a as usize])
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+}
+
+/// A complete cache layout: storage and access arrangement.
+///
+/// `access[i][e]` says where GPU `i` reads entry `e` (a [`SourceIdx`]);
+/// `stored[j][e]` says whether GPU `j` holds a copy of `e`. The invariant
+/// `access[i][e] = j (GPU) ⇒ stored[j][e]` corresponds to the paper's
+/// `s_j^e ≥ a_{i←j}^e` constraint and is checked by
+/// [`Placement::validate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Number of GPUs `G`.
+    pub num_gpus: usize,
+    /// Number of entries `E`.
+    pub num_entries: usize,
+    /// `access[i][e]`: source index GPU `i` reads entry `e` from.
+    pub access: Vec<Vec<SourceIdx>>,
+    /// `stored[j][e]`: whether GPU `j` caches entry `e`.
+    pub stored: Vec<Vec<bool>>,
+}
+
+impl Placement {
+    /// An all-host placement (nothing cached).
+    pub fn all_host(num_gpus: usize, num_entries: usize) -> Self {
+        Placement {
+            num_gpus,
+            num_entries,
+            access: vec![vec![num_gpus as SourceIdx; num_entries]; num_gpus],
+            stored: vec![vec![false; num_entries]; num_gpus],
+        }
+    }
+
+    /// The host source index for this placement.
+    pub fn host_idx(&self) -> SourceIdx {
+        self.num_gpus as SourceIdx
+    }
+
+    /// Where GPU `i` reads entry `e` from, as a [`Location`].
+    pub fn source_of(&self, gpu: usize, entry: u32) -> Location {
+        let s = self.access[gpu][entry as usize];
+        if s == self.host_idx() {
+            Location::Host
+        } else {
+            Location::Gpu(s as usize)
+        }
+    }
+
+    /// Number of entries cached on GPU `j`.
+    pub fn cached_count(&self, gpu: usize) -> usize {
+        self.stored[gpu].iter().filter(|&&s| s).count()
+    }
+
+    /// Validates the storage/access invariants; returns the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.access.len() != self.num_gpus || self.stored.len() != self.num_gpus {
+            return Err("arity mismatch".into());
+        }
+        for i in 0..self.num_gpus {
+            if self.access[i].len() != self.num_entries || self.stored[i].len() != self.num_entries
+            {
+                return Err(format!("GPU{i} vectors have wrong length"));
+            }
+            for e in 0..self.num_entries {
+                let s = self.access[i][e];
+                if s > self.host_idx() {
+                    return Err(format!("GPU{i} entry {e}: bad source {s}"));
+                }
+                if s != self.host_idx() && !self.stored[s as usize][e] {
+                    return Err(format!(
+                        "GPU{i} reads entry {e} from GPU{s} which does not store it"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Splits a batch of keys by source for one GPU: returns
+    /// `(location, key_count)` pairs, merged per source.
+    pub fn split_keys(&self, gpu: usize, keys: &[u32]) -> Vec<(Location, u64)> {
+        let mut counts = vec![0u64; self.num_gpus + 1];
+        for &k in keys {
+            counts[self.access[gpu][k as usize] as usize] += 1;
+        }
+        let mut out = Vec::new();
+        for (j, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let loc = if j == self.num_gpus {
+                Location::Host
+            } else {
+                Location::Gpu(j)
+            };
+            out.push((loc, c));
+        }
+        out
+    }
+
+    /// Hotness-weighted access split for one GPU:
+    /// `(local, remote, host)` fractions — the series of Figure 14.
+    pub fn access_split(&self, gpu: usize, hotness: &Hotness) -> (f64, f64, f64) {
+        assert_eq!(hotness.len(), self.num_entries);
+        let total = hotness.total();
+        if total <= 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let (mut local, mut remote, mut host) = (0.0, 0.0, 0.0);
+        for (e, &w) in hotness.weights.iter().enumerate() {
+            let s = self.access[gpu][e];
+            if s == self.host_idx() {
+                host += w;
+            } else if s as usize == gpu {
+                local += w;
+            } else {
+                remote += w;
+            }
+        }
+        (local / total, remote / total, host / total)
+    }
+
+    /// Hotness-weighted global hit rate: fraction of accesses served by
+    /// *any* GPU cache (averaged over destination GPUs).
+    pub fn global_hit_rate(&self, hotness: &Hotness) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..self.num_gpus {
+            let (l, r, _) = self.access_split(i, hotness);
+            acc += l + r;
+        }
+        acc / self.num_gpus as f64
+    }
+
+    /// Hotness-weighted local hit rate (averaged over destination GPUs).
+    pub fn local_hit_rate(&self, hotness: &Hotness) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..self.num_gpus {
+            let (l, _, _) = self.access_split(i, hotness);
+            acc += l;
+        }
+        acc / self.num_gpus as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hotness_basics() {
+        let h = Hotness::new(vec![4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.total(), 10.0);
+        assert_eq!(h.ranking(), vec![0, 2, 3, 1]);
+        let n = h.normalized();
+        assert!((n[0] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hotness_ties_are_deterministic() {
+        let h = Hotness::new(vec![1.0; 5]);
+        assert_eq!(h.ranking(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_hotness_panics() {
+        let _ = Hotness::new(vec![1.0, -0.5]);
+    }
+
+    #[test]
+    fn all_host_placement_is_valid() {
+        let p = Placement::all_host(4, 100);
+        p.validate().unwrap();
+        assert_eq!(p.cached_count(0), 0);
+        assert_eq!(p.source_of(2, 50), Location::Host);
+    }
+
+    #[test]
+    fn validate_catches_phantom_source() {
+        let mut p = Placement::all_host(2, 4);
+        p.access[0][1] = 1; // reads from GPU1, which stores nothing
+        assert!(p.validate().is_err());
+        p.stored[1][1] = true;
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn split_keys_counts_per_source() {
+        let mut p = Placement::all_host(2, 6);
+        p.stored[0][0] = true;
+        p.stored[1][1] = true;
+        p.access[0][0] = 0;
+        p.access[0][1] = 1;
+        let split = p.split_keys(0, &[0, 0, 1, 5, 4]);
+        assert!(split.contains(&(Location::Gpu(0), 2)));
+        assert!(split.contains(&(Location::Gpu(1), 1)));
+        assert!(split.contains(&(Location::Host, 2)));
+    }
+
+    #[test]
+    fn access_split_and_hit_rates() {
+        let mut p = Placement::all_host(2, 4);
+        let h = Hotness::new(vec![4.0, 3.0, 2.0, 1.0]);
+        // GPU0 stores entries 0,1; GPU1 stores 0.
+        p.stored[0][0] = true;
+        p.stored[0][1] = true;
+        p.stored[1][0] = true;
+        p.access[0][0] = 0;
+        p.access[0][1] = 0;
+        p.access[1][0] = 1;
+        p.access[1][1] = 0; // remote for GPU1
+        p.validate().unwrap();
+        let (l0, r0, h0) = p.access_split(0, &h);
+        assert!((l0 - 0.7).abs() < 1e-12);
+        assert_eq!(r0, 0.0);
+        assert!((h0 - 0.3).abs() < 1e-12);
+        let (l1, r1, _) = p.access_split(1, &h);
+        assert!((l1 - 0.4).abs() < 1e-12);
+        assert!((r1 - 0.3).abs() < 1e-12);
+        assert!((p.global_hit_rate(&h) - 0.7).abs() < 1e-12);
+        assert!((p.local_hit_rate(&h) - 0.55).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,14 @@
+//! End-to-end application models (paper §8.1).
+//!
+//! The embedding layer is the optimization target; everything around it
+//! (dense layers, GNN sampling, GNNLab's host queues) is modelled with
+//! calibrated analytic costs so end-to-end epoch/iteration times can be
+//! compared across systems, as in the paper's Figure 10.
+
+pub mod cost;
+pub mod dlr;
+pub mod gnn;
+
+pub use cost::{DlrModel, MlpCostModel, SamplingCostModel};
+pub use dlr::{run_dlr_iterations, DlrIterationReport};
+pub use gnn::{gnn_cache_capacity, run_gnn_epoch, EpochReport, GnnAppConfig};

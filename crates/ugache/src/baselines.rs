@@ -1,0 +1,325 @@
+//! Baseline system emulations (paper §8.1).
+//!
+//! Each baseline is reconstructed from the same substrate as UGache so
+//! that comparisons isolate *policy* and *mechanism*:
+//!
+//! | system      | policy                    | mechanism      | extra cost |
+//! |-------------|---------------------------|----------------|------------|
+//! | GNNLab      | replication               | peer (local)   | sampler GPUs + host queues (app level) |
+//! | WholeGraph  | partition (must fit all)  | naive peer     | fails on unconnected pairs / small memory |
+//! | PartU       | partition (+CPU fallback) | naive peer     | cliques on non-uniform platforms |
+//! | RepU        | replication               | naive peer     | — |
+//! | Quiver      | clique partition          | naive peer     | — |
+//! | HPS         | replication               | naive peer     | LRU online-eviction overhead |
+//! | SOK         | partition (+CPU fallback) | message-based  | — |
+//! | UGache      | solver (§6)               | factored (§5)  | — |
+
+use cache_policy::{baselines as policies, Hotness, Placement, SolverConfig, UGacheSolver};
+use extractor::{ExtractOutcome, Extractor, Mechanism};
+use gpu_memsim::SimConfig;
+use gpu_platform::{DedicationConfig, Platform};
+use serde::{Deserialize, Serialize};
+
+/// Fractional extraction-time overhead of HPS's LRU bookkeeping (online
+/// eviction on every lookup; the paper credits UGache's static design
+/// with removing exactly this cost).
+const HPS_LRU_OVERHEAD: f64 = 0.20;
+
+/// The systems compared in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemKind {
+    /// This paper's system.
+    UGache,
+    /// GNNLab-style replication cache (paper baseline for GNN).
+    GnnLab,
+    /// WholeGraph: strict partition, peer access.
+    WholeGraph,
+    /// PartU: WholeGraph extended with a CPU tier and clique support.
+    PartU,
+    /// RepU: PartU's codebase with a replication policy.
+    RepU,
+    /// Quiver-style clique partition.
+    Quiver,
+    /// HPS: replication + LRU online eviction (paper baseline for DLR).
+    Hps,
+    /// SOK: partition + message-based extraction.
+    Sok,
+}
+
+impl SystemKind {
+    /// Display name used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::UGache => "UGache",
+            SystemKind::GnnLab => "GNNLab",
+            SystemKind::WholeGraph => "WholeGraph",
+            SystemKind::PartU => "PartU",
+            SystemKind::RepU => "RepU",
+            SystemKind::Quiver => "Quiver",
+            SystemKind::Hps => "HPS",
+            SystemKind::Sok => "SOK",
+        }
+    }
+}
+
+/// A ready-to-measure system: placement + extraction mechanism.
+#[derive(Debug, Clone)]
+pub struct SystemInstance {
+    /// Which system this is.
+    pub kind: SystemKind,
+    /// The entry-level placement its policy produced.
+    pub placement: Placement,
+    /// The extraction front-end its mechanism uses.
+    pub extractor: Extractor,
+    /// Multiplier on extraction time for per-lookup bookkeeping.
+    pub overhead_factor: f64,
+    /// Bytes per embedding entry.
+    pub entry_bytes: usize,
+}
+
+impl SystemInstance {
+    /// Extracts one iteration's key batches, applying the system's
+    /// bookkeeping overhead.
+    pub fn extract(&self, keys_per_gpu: &[Vec<u32>]) -> ExtractOutcome {
+        let mut out = self
+            .extractor
+            .extract(&self.placement, keys_per_gpu, self.entry_bytes);
+        if self.overhead_factor > 1.0 {
+            out.makespan = out.makespan.mul_f64(self.overhead_factor);
+            for g in out.per_gpu.iter_mut() {
+                g.time = g.time.mul_f64(self.overhead_factor);
+            }
+        }
+        out
+    }
+}
+
+/// Builds a baseline (or UGache itself) on a platform.
+///
+/// # Errors
+///
+/// [`SystemKind::WholeGraph`] fails exactly where the real system fails
+/// to launch: unconnected GPU pairs, or total GPU memory below the full
+/// embedding volume. [`SystemKind::UGache`] propagates solver errors.
+pub fn build_system(
+    kind: SystemKind,
+    platform: &Platform,
+    hotness: &Hotness,
+    cap_entries: usize,
+    entry_bytes: usize,
+    accesses_per_iter: f64,
+    seed: u64,
+) -> Result<SystemInstance, String> {
+    let g = platform.num_gpus();
+    let e = hotness.len();
+    let naive = Mechanism::PeerNaive { seed };
+    let fem = Mechanism::Factored {
+        dedication: DedicationConfig::default(),
+    };
+    let sim = SimConfig::default();
+
+    let (placement, mechanism, overhead) = match kind {
+        SystemKind::UGache => {
+            let solver = UGacheSolver::new(platform.clone(), DedicationConfig::default());
+            let mut cfg = SolverConfig::new(entry_bytes, accesses_per_iter);
+            cfg.dedup_adjust = true;
+            let solved = solver.solve(hotness, &vec![cap_entries; g], &cfg)?;
+            (solved.placement, fem, 1.0)
+        }
+        SystemKind::GnnLab => (
+            policies::replication(platform, hotness, cap_entries),
+            naive,
+            1.0,
+        ),
+        SystemKind::WholeGraph => {
+            if g * cap_entries < e {
+                return Err(format!(
+                    "WholeGraph cannot launch: total GPU cache ({}) below embedding count ({e})",
+                    g * cap_entries
+                ));
+            }
+            let p = policies::partition(platform, hotness, cap_entries)
+                .map_err(|err| format!("WholeGraph cannot launch: {err}"))?;
+            (p, naive, 1.0)
+        }
+        SystemKind::PartU => {
+            let p = match policies::partition(platform, hotness, cap_entries) {
+                Ok(p) => p,
+                Err(_) => policies::clique_partition(platform, hotness, cap_entries),
+            };
+            (p, naive, 1.0)
+        }
+        SystemKind::RepU => (
+            policies::replication(platform, hotness, cap_entries),
+            naive,
+            1.0,
+        ),
+        SystemKind::Quiver => (
+            policies::clique_partition(platform, hotness, cap_entries),
+            naive,
+            1.0,
+        ),
+        SystemKind::Hps => (
+            policies::replication(platform, hotness, cap_entries),
+            naive,
+            1.0 + HPS_LRU_OVERHEAD,
+        ),
+        SystemKind::Sok => {
+            let p = match policies::partition(platform, hotness, cap_entries) {
+                Ok(p) => p,
+                Err(_) => policies::clique_partition(platform, hotness, cap_entries),
+            };
+            (p, Mechanism::MessageBased, 1.0)
+        }
+    };
+
+    Ok(SystemInstance {
+        kind,
+        placement,
+        extractor: Extractor::new(platform.clone(), sim, mechanism),
+        overhead_factor: overhead,
+        entry_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emb_util::zipf::powerlaw_hotness;
+    use emb_util::{seed_rng, ZipfSampler};
+
+    const N: usize = 40_000;
+    const BYTES: usize = 512;
+
+    fn hotness() -> Hotness {
+        Hotness::new(powerlaw_hotness(N, 1.2))
+    }
+
+    fn batches(g: usize, per_gpu: usize) -> Vec<Vec<u32>> {
+        let zipf = ZipfSampler::new(N as u64, 1.2);
+        (0..g)
+            .map(|i| {
+                let mut rng = seed_rng(77 + i as u64);
+                let mut v: Vec<u32> = (0..per_gpu).map(|_| zipf.sample(&mut rng) as u32).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_systems_build_on_server_c() {
+        let plat = Platform::server_c();
+        let h = hotness();
+        for kind in [
+            SystemKind::UGache,
+            SystemKind::GnnLab,
+            SystemKind::PartU,
+            SystemKind::RepU,
+            SystemKind::Quiver,
+            SystemKind::Hps,
+            SystemKind::Sok,
+        ] {
+            let s = build_system(kind, &plat, &h, 1500, BYTES, 2e4, 1).unwrap();
+            s.placement.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn wholegraph_launch_failures_match_paper() {
+        let h = hotness();
+        // ① total GPU memory below embedding volume.
+        let err = build_system(
+            SystemKind::WholeGraph,
+            &Platform::server_c(),
+            &h,
+            100,
+            BYTES,
+            2e4,
+            1,
+        )
+        .unwrap_err();
+        assert!(err.contains("cannot launch"));
+        // ② unconnected pairs (Server B), even with enough memory.
+        let err = build_system(
+            SystemKind::WholeGraph,
+            &Platform::server_b(),
+            &h,
+            N,
+            BYTES,
+            2e4,
+            1,
+        )
+        .unwrap_err();
+        assert!(err.contains("cannot launch"));
+        // Enough memory + fully connected: launches.
+        let ok = build_system(
+            SystemKind::WholeGraph,
+            &Platform::server_c(),
+            &h,
+            N / 8 + 1,
+            BYTES,
+            2e4,
+            1,
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn ugache_extraction_beats_baselines_end_to_end() {
+        let plat = Platform::server_c();
+        let h = hotness();
+        let keys = batches(8, 20_000);
+        let cap = 1500;
+        let t = |kind| {
+            build_system(kind, &plat, &h, cap, BYTES, 2e4, 1)
+                .unwrap()
+                .extract(&keys)
+                .makespan
+        };
+        let u = t(SystemKind::UGache);
+        for kind in [
+            SystemKind::Hps,
+            SystemKind::Sok,
+            SystemKind::RepU,
+            SystemKind::PartU,
+        ] {
+            let b = t(kind);
+            assert!(
+                u.as_secs_f64() <= b.as_secs_f64() * 1.02,
+                "UGache {u} vs {} {b}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn hps_overhead_applies() {
+        let plat = Platform::server_a();
+        let h = hotness();
+        let keys = batches(4, 10_000);
+        let hps = build_system(SystemKind::Hps, &plat, &h, 1000, BYTES, 1e4, 1).unwrap();
+        let repu = build_system(SystemKind::RepU, &plat, &h, 1000, BYTES, 1e4, 1).unwrap();
+        let t_hps = hps.extract(&keys).makespan;
+        let t_repu = repu.extract(&keys).makespan;
+        let ratio = t_hps.as_secs_f64() / t_repu.as_secs_f64();
+        assert!(
+            (ratio - (1.0 + HPS_LRU_OVERHEAD)).abs() < 0.02,
+            "ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn partu_falls_back_to_cliques_on_server_b() {
+        let plat = Platform::server_b();
+        let h = hotness();
+        let s = build_system(SystemKind::PartU, &plat, &h, 1000, BYTES, 2e4, 1).unwrap();
+        s.placement.validate().unwrap();
+        // GPU0 must never read from the other clique.
+        for e in 0..N {
+            let src = s.placement.access[0][e];
+            assert!(src == s.placement.host_idx() || src < 4);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! UGache: a unified multi-GPU embedding cache (SOSP '23) — Rust
+//! reproduction.
+//!
+//! The [`UGache`] type composes the pieces built by the substrate crates
+//! exactly as the paper's architecture diagram does (§4): the **Solver**
+//! (`cache-policy`) decides placement from hotness and the platform
+//! profile, the **Filler** loads the per-GPU arenas (`emb-cache`), the
+//! **Extractor** (`extractor`) serves lookups with factored extraction,
+//! and the **Refresher** migrates the cache when hotness drifts.
+//!
+//! [`baselines`] reconstructs the systems the paper compares against
+//! (GNNLab, WholeGraph, PartU/RepU, Quiver cliques, HPS, SOK) from the
+//! same substrate, so like-for-like experiments differ only in policy
+//! and mechanism. [`apps`] adds the end-to-end application models (GNN
+//! training epochs, DLR inference iterations) with dense-layer and
+//! sampling cost models. [`framework`] exposes the embedding-layer
+//! integration surface (§7.1) in TensorFlow-ish and PyTorch-ish flavours.
+
+pub mod apps;
+pub mod baselines;
+pub mod framework;
+pub mod system;
+
+pub use baselines::{SystemInstance, SystemKind};
+pub use system::{IterationReport, UGache, UGacheConfig};

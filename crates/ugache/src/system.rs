@@ -1,0 +1,341 @@
+//! The composed UGache system (paper §4).
+
+use cache_policy::{Hotness, Placement, SolverConfig, UGacheSolver};
+use emb_cache::{HostTable, HotnessSampler, MultiGpuCache, RefreshConfig, Refresher};
+use extractor::{ExtractOutcome, Extractor, Mechanism};
+use gpu_memsim::SimConfig;
+use gpu_platform::{DedicationConfig, Platform};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a UGache instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UGacheConfig {
+    /// Core-dedication tunables (§5.3).
+    pub dedication: DedicationConfig,
+    /// Timing-simulator parameters.
+    pub sim: SimConfig,
+    /// Solver parameters (block batching, scaling).
+    pub solver: SolverConfig,
+    /// Refresher parameters (§7.2).
+    pub refresh: RefreshConfig,
+    /// Hotness sampling stride (1 = count every key).
+    pub sample_stride: usize,
+}
+
+impl UGacheConfig {
+    /// A reasonable default for the given entry size and measured
+    /// accesses per iteration.
+    pub fn new(entry_bytes: usize, accesses_per_iter: f64) -> Self {
+        let mut solver = SolverConfig::new(entry_bytes, accesses_per_iter);
+        // Batches are deduplicated; size the time model accordingly.
+        solver.dedup_adjust = true;
+        UGacheConfig {
+            dedication: DedicationConfig::default(),
+            sim: SimConfig::default(),
+            solver,
+            refresh: RefreshConfig::default(),
+            sample_stride: 16,
+        }
+    }
+}
+
+/// Timing and hit statistics of one data-parallel iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationReport {
+    /// Simulated extraction outcome (slowdown-adjusted).
+    pub extract: ExtractOutcome,
+    /// Whether a refresh was active during the iteration.
+    pub refresh_active: bool,
+    /// Virtual time at the end of the iteration (seconds).
+    pub clock: f64,
+}
+
+/// A live UGache instance managing one embedding table across GPUs.
+pub struct UGache {
+    platform: Platform,
+    solver: UGacheSolver,
+    extractor: Extractor,
+    cache: MultiGpuCache,
+    sampler: HotnessSampler,
+    refresher: Refresher,
+    cfg: UGacheConfig,
+    cap_entries: Vec<usize>,
+    predicted_secs: f64,
+    clock: f64,
+}
+
+impl UGache {
+    /// Builds a UGache: solves the policy for `hotness`, fills the cache,
+    /// and stands up the factored extractor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn build(
+        platform: Platform,
+        host: HostTable,
+        hotness: &Hotness,
+        cap_entries: Vec<usize>,
+        cfg: UGacheConfig,
+    ) -> Result<Self, String> {
+        assert_eq!(
+            hotness.len(),
+            host.num_entries(),
+            "hotness/table size mismatch"
+        );
+        let solver = UGacheSolver::new(platform.clone(), cfg.dedication);
+        let solved = solver.solve(hotness, &cap_entries, &cfg.solver)?;
+        let cache = MultiGpuCache::build(host, &solved.placement, &cap_entries);
+        let extractor = Extractor::new(
+            platform.clone(),
+            cfg.sim,
+            Mechanism::Factored {
+                dedication: cfg.dedication,
+            },
+        );
+        let sampler = HotnessSampler::new(hotness.len(), cfg.sample_stride);
+        let refresher = Refresher::new(cfg.refresh);
+        Ok(UGache {
+            platform,
+            solver,
+            extractor,
+            cache,
+            sampler,
+            refresher,
+            cfg,
+            cap_entries,
+            predicted_secs: solved.predicted_secs,
+            clock: 0.0,
+        })
+    }
+
+    /// The platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The active placement.
+    pub fn placement(&self) -> &Placement {
+        self.cache.placement()
+    }
+
+    /// Current virtual time in seconds.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// The solver's predicted per-iteration extraction time (seconds).
+    pub fn predicted_extraction_secs(&self) -> f64 {
+        self.predicted_secs
+    }
+
+    /// Completed refresh durations (seconds).
+    pub fn refresh_history(&self) -> &[f64] {
+        self.refresher.history.as_slice()
+    }
+
+    /// Functional gather for one GPU: fills `out` with real embedding
+    /// values and feeds the hotness sampler.
+    pub fn gather(&mut self, gpu: usize, keys: &[u32], out: &mut [f32]) -> emb_cache::GatherStats {
+        self.sampler.observe(keys);
+        self.cache.gather(gpu, keys, out)
+    }
+
+    /// One timed data-parallel iteration: simulates extraction of
+    /// `keys_per_gpu` under the current placement, advances the virtual
+    /// clock, ticks the refresher, and applies its foreground impact.
+    pub fn process_iteration(&mut self, keys_per_gpu: &[Vec<u32>]) -> IterationReport {
+        for keys in keys_per_gpu {
+            self.sampler.observe(keys);
+        }
+        let mut outcome = self.extractor.extract(
+            self.cache.placement(),
+            keys_per_gpu,
+            self.cfg.solver.entry_bytes,
+        );
+        let slowdown = self.refresher.slowdown();
+        if slowdown > 1.0 {
+            outcome.makespan = outcome.makespan.mul_f64(slowdown);
+            for g in outcome.per_gpu.iter_mut() {
+                g.time = g.time.mul_f64(slowdown);
+            }
+        }
+        self.clock += outcome.makespan.as_secs_f64();
+        let refresh_active = self.refresher.active();
+        let clock = self.clock;
+        self.refresher.tick(clock, &mut self.cache);
+        IterationReport {
+            extract: outcome,
+            refresh_active,
+            clock,
+        }
+    }
+
+    /// Advances the virtual clock without extraction work (e.g. dense
+    /// compute time), still ticking the refresher.
+    pub fn advance_clock(&mut self, secs: f64) {
+        self.clock += secs;
+        let clock = self.clock;
+        self.refresher.tick(clock, &mut self.cache);
+    }
+
+    /// Re-solves the policy against freshly sampled hotness and starts a
+    /// background refresh if the estimated benefit exceeds the trigger
+    /// threshold (or `force` is set). Returns whether a refresh started.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn consider_refresh(&mut self, force: bool) -> Result<bool, String> {
+        if self.refresher.active() {
+            return Ok(false);
+        }
+        let fresh = self.sampler.snapshot();
+        if fresh.total() <= 0.0 {
+            return Ok(false);
+        }
+        let solved = self
+            .solver
+            .solve(&fresh, &self.cap_entries, &self.cfg.solver)?;
+        // How would the *current* placement fare under the new hotness?
+        // Apply the same dedup adjustment the solver uses so the two
+        // estimates are comparable.
+        let fresh_cmp = if self.cfg.solver.dedup_adjust {
+            fresh.dedup_adjusted(self.cfg.solver.accesses_per_iter)
+        } else {
+            fresh.clone()
+        };
+        let current = cache_policy::estimate_extraction_time(
+            self.cache.placement(),
+            &fresh_cmp,
+            self.solver.profile(),
+            self.cfg.solver.entry_bytes,
+            self.cfg.solver.accesses_per_iter,
+        )
+        .makespan;
+        if force
+            || self
+                .refresher
+                .should_refresh(current, solved.predicted_secs)
+        {
+            self.refresher
+                .begin(self.clock, self.cache.placement(), solved.placement);
+            self.predicted_secs = solved.predicted_secs;
+            self.sampler.reset();
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Whether a refresh is currently active.
+    pub fn refresh_active(&self) -> bool {
+        self.refresher.active()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emb_util::zipf::powerlaw_hotness;
+
+    const N: usize = 2_000;
+    const DIM: usize = 8;
+
+    fn build() -> UGache {
+        let platform = Platform::server_a();
+        let host = HostTable::dense(N, DIM);
+        let hotness = Hotness::new(powerlaw_hotness(N, 1.2));
+        let mut cfg = UGacheConfig::new(DIM * 4, 500.0);
+        cfg.solver.blocks.max_blocks = 32;
+        cfg.solver.blocks.min_splits = 4;
+        UGache::build(platform, host, &hotness, vec![200; 4], cfg).unwrap()
+    }
+
+    #[test]
+    fn build_and_functional_gather() {
+        let mut u = build();
+        let keys = [0u32, 1, 1999, 500];
+        let mut out = vec![0.0f32; keys.len() * DIM];
+        let stats = u.gather(0, &keys, &mut out);
+        assert_eq!(stats.total(), 4);
+        let truth = HostTable::dense(N, DIM);
+        for (k, &key) in keys.iter().enumerate() {
+            assert_eq!(&out[k * DIM..(k + 1) * DIM], truth.read(key).as_slice());
+        }
+    }
+
+    #[test]
+    fn timed_iteration_advances_clock() {
+        let mut u = build();
+        let keys: Vec<Vec<u32>> = (0..4)
+            .map(|g| (g * 100..g * 100 + 400).map(|k| (k % N) as u32).collect())
+            .collect();
+        let r = u.process_iteration(&keys);
+        assert!(r.extract.makespan > emb_util::SimTime::ZERO);
+        assert!(u.clock() > 0.0);
+        assert!(!r.refresh_active);
+    }
+
+    #[test]
+    fn forced_refresh_runs_to_completion() {
+        let mut u = build();
+        let keys: Vec<Vec<u32>> = (0..4)
+            .map(|_| (0..300u32).map(|k| (N as u32 - 1) - (k % 1000)).collect())
+            .collect();
+        // Feed some accesses so the sampler has a signal, then force.
+        for _ in 0..3 {
+            u.process_iteration(&keys);
+        }
+        assert!(u.consider_refresh(true).unwrap());
+        assert!(u.refresh_active());
+        // Drive the clock past solve + updates.
+        let mut guard = 0;
+        while u.refresh_active() {
+            u.advance_clock(1.0);
+            guard += 1;
+            assert!(guard < 1_000, "refresh stuck");
+        }
+        assert_eq!(u.refresh_history().len(), 1);
+    }
+
+    #[test]
+    fn refresh_slows_foreground() {
+        let mut u = build();
+        let keys: Vec<Vec<u32>> = (0..4).map(|_| (0..500u32).collect()).collect();
+        let before = u.process_iteration(&keys).extract.makespan;
+        u.consider_refresh(true).unwrap();
+        let during = u.process_iteration(&keys).extract.makespan;
+        assert!(during > before, "during {during} vs before {before}");
+    }
+
+    #[test]
+    fn no_refresh_without_drift() {
+        use emb_util::{seed_rng, ZipfSampler};
+        let platform = Platform::server_a();
+        let host = HostTable::dense(N, DIM);
+        let hotness = Hotness::new(powerlaw_hotness(N, 1.2));
+        let mut cfg = UGacheConfig::new(DIM * 4, 500.0);
+        cfg.solver.blocks.max_blocks = 32;
+        cfg.solver.blocks.min_splits = 4;
+        // Count every key so sampling noise cannot fake a drift.
+        cfg.sample_stride = 1;
+        let mut u = UGache::build(platform, host, &hotness, vec![200; 4], cfg).unwrap();
+        // Feed batches drawn from the same power law the cache was solved
+        // for: no drift, no refresh.
+        let zipf = ZipfSampler::new(N as u64, 1.2);
+        let mut rng = seed_rng(99);
+        for _ in 0..20 {
+            let keys: Vec<Vec<u32>> = (0..4)
+                .map(|_| {
+                    let mut v: Vec<u32> = (0..2000).map(|_| zipf.sample(&mut rng) as u32).collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                })
+                .collect();
+            u.process_iteration(&keys);
+        }
+        assert!(!u.consider_refresh(false).unwrap());
+    }
+}

@@ -1,0 +1,76 @@
+//! Human-readable formatting helpers for the report harness.
+
+/// Formats a byte count with a binary-prefix unit (B, KiB, MiB, GiB, TiB).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(emb_util::fmt::bytes(512), "512B");
+/// assert_eq!(emb_util::fmt::bytes(2 * 1024 * 1024), "2.00MiB");
+/// ```
+pub fn bytes(n: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = n as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{n}B")
+    } else {
+        format!("{v:.2}{}", UNITS[unit])
+    }
+}
+
+/// Formats a count with thousands separators.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(emb_util::fmt::count(1234567), "1,234,567");
+/// ```
+pub fn count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_units() {
+        assert_eq!(bytes(0), "0B");
+        assert_eq!(bytes(1023), "1023B");
+        assert_eq!(bytes(1024), "1.00KiB");
+        assert_eq!(bytes(1536), "1.50KiB");
+        assert_eq!(bytes(3 * 1024 * 1024 * 1024), "3.00GiB");
+    }
+
+    #[test]
+    fn count_separators() {
+        assert_eq!(count(0), "0");
+        assert_eq!(count(999), "999");
+        assert_eq!(count(1000), "1,000");
+        assert_eq!(count(1000000), "1,000,000");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.1234), "12.3%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+}

@@ -1,0 +1,19 @@
+//! Shared utilities for the UGache reproduction.
+//!
+//! Everything stochastic in this workspace flows through [`rng`], so a
+//! single `u64` seed fully determines a run. [`zipf`] implements the
+//! power-law samplers that drive skewed embedding access, [`stats`]
+//! provides the histogram/percentile machinery the benchmark harness
+//! reports with, and [`time`] defines the fixed-point simulated-time type
+//! used by the platform simulator.
+
+pub mod fmt;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod zipf;
+
+pub use rng::{seed_rng, split_seed};
+pub use stats::{Histogram, OnlineStats};
+pub use time::SimTime;
+pub use zipf::ZipfSampler;

@@ -1,0 +1,200 @@
+//! Zipfian / power-law sampling.
+//!
+//! Embedding access in EmbDL workloads is skewed: DLR keys follow user
+//! preference power laws, and GNN neighbour expansion follows graph degree
+//! power laws (paper §2). This module provides an exact-inverse-CDF Zipf
+//! sampler for small domains and an O(1) rejection-inversion sampler
+//! (Hörmann & Derflinger) for the multi-million-entry domains the paper
+//! evaluates.
+
+use rand::Rng;
+
+/// Samples ranks `0..n` with probability proportional to `1 / (rank+1)^alpha`.
+///
+/// Uses rejection-inversion, which needs no per-rank tables, so a sampler
+/// over a billion-entry domain costs O(1) memory.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let z = emb_util::ZipfSampler::new(1_000_000, 1.2);
+/// let k = z.sample(&mut rng);
+/// assert!(k < 1_000_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    n: u64,
+    alpha: f64,
+    /// `H(0.5) - 1`: lower bound of the inverted integral domain.
+    h_x0: f64,
+    /// `H(n + 0.5)`: upper bound of the inverted integral domain.
+    h_n: f64,
+    /// Acceptance shortcut threshold for rank 1.
+    s: f64,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over ranks `0..n` with exponent `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha` is not finite and positive.
+    pub fn new(n: u64, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf domain must be non-empty");
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "Zipf exponent must be a positive finite number"
+        );
+        // The closed-form antiderivative below is only valid for alpha != 1;
+        // nudge alpha by an epsilon (the distributions are indistinguishable).
+        let alpha = if (alpha - 1.0).abs() < 1e-9 {
+            1.0 + 1e-9
+        } else {
+            alpha
+        };
+        let h = |x: f64| x.powf(1.0 - alpha) / (1.0 - alpha);
+        let h_inv = |x: f64| (x * (1.0 - alpha)).powf(1.0 / (1.0 - alpha));
+        let h_x0 = h(0.5) - 1.0;
+        let h_n = h(n as f64 + 0.5);
+        let s = 1.0 - h_inv(h(1.5) - 2.0_f64.powf(-alpha));
+        Self {
+            n,
+            alpha,
+            h_x0,
+            h_n,
+            s,
+        }
+    }
+
+    fn h(&self, x: f64) -> f64 {
+        // `H(x) = x^(1-alpha) / (1-alpha)`, the antiderivative of `x^-alpha`.
+        x.powf(1.0 - self.alpha) / (1.0 - self.alpha)
+    }
+
+    fn h_inv(&self, x: f64) -> f64 {
+        (x * (1.0 - self.alpha)).powf(1.0 / (1.0 - self.alpha))
+    }
+
+    /// Draws one rank in `0..n` (0 is the hottest).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            let v: f64 = rng.gen();
+            let u = self.h_n + v * (self.h_x0 - self.h_n);
+            let x = self.h_inv(u);
+            let k = x.round().clamp(1.0, self.n as f64);
+            if k - x <= self.s || u >= self.h(k + 0.5) - k.powf(-self.alpha) {
+                return k as u64 - 1;
+            }
+        }
+    }
+
+    /// Returns the domain size.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    /// Returns the unnormalized probability mass of a rank.
+    pub fn mass(&self, rank: u64) -> f64 {
+        ((rank + 1) as f64).powf(-self.alpha)
+    }
+
+    /// Computes the exact probabilities of the first `k` ranks.
+    ///
+    /// Normalization uses a full `O(n)` pass; intended for tests and for
+    /// generating hotness ground truth on scaled-down domains.
+    pub fn head_probabilities(&self, k: usize) -> Vec<f64> {
+        let norm: f64 = (1..=self.n).map(|r| (r as f64).powf(-self.alpha)).sum();
+        (0..k.min(self.n as usize))
+            .map(|r| ((r + 1) as f64).powf(-self.alpha) / norm)
+            .collect()
+    }
+}
+
+/// Generates a normalized power-law hotness vector over `n` entries.
+///
+/// Entry `e` receives mass proportional to `(e+1)^-alpha`; the result sums
+/// to 1. This is the "measured hotness" shape used throughout the policy
+/// crate when an application supplies frequencies directly (paper §6.1).
+pub fn powerlaw_hotness(n: usize, alpha: f64) -> Vec<f64> {
+    let mut h: Vec<f64> = (0..n).map(|e| ((e + 1) as f64).powf(-alpha)).collect();
+    let sum: f64 = h.iter().sum();
+    for v in &mut h {
+        *v /= sum;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seed_rng;
+
+    #[test]
+    fn samples_in_domain() {
+        let mut rng = seed_rng(3);
+        let z = ZipfSampler::new(100, 0.99);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn rank_zero_is_hottest() {
+        let mut rng = seed_rng(4);
+        let z = ZipfSampler::new(1000, 1.2);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..200_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[500]);
+    }
+
+    #[test]
+    fn empirical_matches_theoretical_head() {
+        let mut rng = seed_rng(5);
+        let n = 10_000;
+        let z = ZipfSampler::new(n, 1.1);
+        let draws = 400_000;
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..draws {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let expected = z.head_probabilities(5);
+        for (r, &p) in expected.iter().enumerate() {
+            let emp = counts[r] as f64 / draws as f64;
+            assert!(
+                (emp - p).abs() / p < 0.1,
+                "rank {r}: empirical {emp} vs theoretical {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_one_is_handled() {
+        let mut rng = seed_rng(6);
+        let z = ZipfSampler::new(50, 1.0);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 50);
+        }
+    }
+
+    #[test]
+    fn singleton_domain() {
+        let mut rng = seed_rng(7);
+        let z = ZipfSampler::new(1, 1.3);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn powerlaw_hotness_is_normalized_and_sorted() {
+        let h = powerlaw_hotness(1000, 1.2);
+        let sum: f64 = h.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        for w in h.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+}

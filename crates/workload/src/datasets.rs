@@ -1,0 +1,292 @@
+//! Dataset presets (paper Table 3), scaled.
+//!
+//! Each preset preserves the shape parameters that matter for caching —
+//! edges-per-vertex, degree/key skew, embedding dimension and dtype width
+//! — while dividing entity counts by a configurable `scale_div` so a
+//! development machine can hold the data. Cache experiments sweep *cache
+//! ratio* (fraction of entries cached), which is scale-invariant.
+
+use emb_graph::{generate, Csr, GraphConfig};
+use emb_util::{seed_rng, split_seed};
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// GNN dataset identifiers (Table 3, top).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GnnDatasetId {
+    /// OGB-Papers100M: 111 M vertices, 3.2 B edges, dim 128 (f32).
+    Pa,
+    /// Com-Friendster: 65.6 M vertices, 3.6 B edges, dim 256 (f32).
+    Cf,
+    /// OGB-MAG240M: 232 M vertices, 3.2 B edges, dim 768 (f16).
+    Mag,
+}
+
+impl GnnDatasetId {
+    /// All GNN presets in paper order.
+    pub const ALL: [GnnDatasetId; 3] = [GnnDatasetId::Pa, GnnDatasetId::Cf, GnnDatasetId::Mag];
+
+    /// The paper's short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GnnDatasetId::Pa => "PA",
+            GnnDatasetId::Cf => "CF",
+            GnnDatasetId::Mag => "MAG",
+        }
+    }
+}
+
+/// A scaled GNN dataset: graph, embedding geometry, training seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GnnDataset {
+    /// Paper name (PA/CF/MAG).
+    pub name: String,
+    /// The (scaled) graph.
+    pub graph: Csr,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Bytes per embedding entry (dim × dtype width; MAG is f16).
+    pub entry_bytes: usize,
+    /// Training vertex ids.
+    pub train_set: Vec<u32>,
+    /// Scale divisor applied to the paper-scale vertex count.
+    pub scale_div: usize,
+    /// Access skew (Zipf exponent used for edge targets).
+    pub skew: f64,
+}
+
+impl GnnDataset {
+    /// Number of embedding entries (= vertices).
+    pub fn num_entries(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Embedding volume in bytes at this scale (the paper's `VolumeE`).
+    pub fn volume_bytes(&self) -> u64 {
+        self.num_entries() as u64 * self.entry_bytes as u64
+    }
+}
+
+/// Builds a scaled GNN dataset preset.
+///
+/// `scale_div` divides the paper-scale vertex count (e.g. 256 turns PA's
+/// 111 M vertices into ~433 K). Training sets are ~1 % of vertices,
+/// mirroring OGB splits.
+///
+/// # Panics
+///
+/// Panics if `scale_div == 0` or the scaled vertex count is zero.
+pub fn gnn_preset(id: GnnDatasetId, scale_div: usize, seed: u64) -> GnnDataset {
+    assert!(scale_div > 0, "scale divisor must be positive");
+    // (paper vertices, paper edges, dim, dtype bytes, skew)
+    let (vertices, edges, dim, dtype, skew): (u64, u64, usize, usize, f64) = match id {
+        GnnDatasetId::Pa => (111_000_000, 3_200_000_000, 128, 4, 1.15),
+        GnnDatasetId::Cf => (65_600_000, 3_600_000_000, 256, 4, 1.00),
+        GnnDatasetId::Mag => (232_000_000, 3_200_000_000, 768, 2, 1.10),
+    };
+    let n = (vertices / scale_div as u64).max(1) as usize;
+    let avg_degree = ((edges + vertices - 1) / vertices).max(1) as usize;
+    let graph = generate(&GraphConfig {
+        num_vertices: n,
+        avg_degree,
+        skew,
+        seed: split_seed(seed, id as u64),
+    });
+    // ~1% of vertices train, selected uniformly.
+    let mut rng = seed_rng(split_seed(seed, 0x7247 + id as u64));
+    let train_n = (n / 100).max(1);
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    ids.shuffle(&mut rng);
+    ids.truncate(train_n);
+    GnnDataset {
+        name: id.name().to_string(),
+        graph,
+        dim,
+        entry_bytes: dim * dtype,
+        train_set: ids,
+        scale_div,
+        skew,
+    }
+}
+
+/// DLR dataset identifiers (Table 3, bottom).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DlrDatasetId {
+    /// Criteo-TB: 26 heterogeneous tables, 882 M entries total, dim 128.
+    Cr,
+    /// Synthetic: 100 tables × 8 M entries, α = 1.2, dim 128.
+    SynA,
+    /// Synthetic: 100 tables × 8 M entries, α = 1.4, dim 128.
+    SynB,
+}
+
+impl DlrDatasetId {
+    /// All DLR presets in paper order.
+    pub const ALL: [DlrDatasetId; 3] = [DlrDatasetId::Cr, DlrDatasetId::SynA, DlrDatasetId::SynB];
+
+    /// The paper's short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DlrDatasetId::Cr => "CR",
+            DlrDatasetId::SynA => "SYN-A",
+            DlrDatasetId::SynB => "SYN-B",
+        }
+    }
+}
+
+/// A scaled DLR dataset: table geometry and key-skew parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DlrDataset {
+    /// Paper name.
+    pub name: String,
+    /// Entries per embedding table.
+    pub table_sizes: Vec<u64>,
+    /// Global key offset of each table (prefix sums of `table_sizes`).
+    pub table_offsets: Vec<u64>,
+    /// Embedding dimension (f32).
+    pub dim: usize,
+    /// Bytes per entry.
+    pub entry_bytes: usize,
+    /// Zipf exponent of per-table key draws.
+    pub alpha: f64,
+    /// Scale divisor applied to paper-scale table sizes.
+    pub scale_div: usize,
+}
+
+impl DlrDataset {
+    /// Total entries across all tables.
+    pub fn num_entries(&self) -> usize {
+        self.table_sizes.iter().sum::<u64>() as usize
+    }
+
+    /// Number of tables (keys per request).
+    pub fn num_tables(&self) -> usize {
+        self.table_sizes.len()
+    }
+
+    /// Embedding volume in bytes at this scale.
+    pub fn volume_bytes(&self) -> u64 {
+        self.num_entries() as u64 * self.entry_bytes as u64
+    }
+}
+
+/// Criteo-TB categorical cardinalities are wildly heterogeneous: a few
+/// huge tables dominate. These fractions of the 882 M total approximate
+/// the published cardinality profile.
+const CR_TABLE_FRACTIONS: [f64; 26] = [
+    0.32, 0.22, 0.14, 0.09, 0.065, 0.045, 0.03, 0.02, 0.013, 0.009, 0.006, 0.004, 0.003, 0.002,
+    0.0015, 0.001, 0.0008, 0.0006, 0.0005, 0.0004, 0.0003, 0.00025, 0.0002, 0.00015, 0.0001,
+    0.00008,
+];
+
+/// Builds a scaled DLR dataset preset.
+///
+/// # Panics
+///
+/// Panics if `scale_div == 0`.
+pub fn dlr_preset(id: DlrDatasetId, scale_div: usize) -> DlrDataset {
+    assert!(scale_div > 0, "scale divisor must be positive");
+    let (table_sizes, alpha): (Vec<u64>, f64) = match id {
+        DlrDatasetId::Cr => {
+            let total = 882_000_000u64 / scale_div as u64;
+            (
+                CR_TABLE_FRACTIONS
+                    .iter()
+                    .map(|f| ((total as f64 * f) as u64).max(4))
+                    .collect(),
+                // Criteo click keys are highly skewed; α≈1.1 reproduces the
+                // hit-rate curves reported for CR.
+                1.1,
+            )
+        }
+        DlrDatasetId::SynA => (vec![8_000_000u64 / scale_div as u64; 100], 1.2),
+        DlrDatasetId::SynB => (vec![8_000_000u64 / scale_div as u64; 100], 1.4),
+    };
+    let mut table_offsets = Vec::with_capacity(table_sizes.len());
+    let mut acc = 0u64;
+    for &s in &table_sizes {
+        table_offsets.push(acc);
+        acc += s;
+    }
+    DlrDataset {
+        name: id.name().to_string(),
+        table_sizes,
+        table_offsets,
+        dim: 128,
+        entry_bytes: 128 * 4,
+        alpha,
+        scale_div,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnn_presets_scale_consistently() {
+        let d = gnn_preset(GnnDatasetId::Pa, 1024, 1);
+        assert_eq!(d.num_entries(), 111_000_000 / 1024);
+        // Edges per vertex ≈ paper's ratio (3.2B / 111M ≈ 29).
+        let epv = d.graph.num_edges() as f64 / d.num_entries() as f64;
+        assert!((20.0..40.0).contains(&epv), "edges/vertex {epv}");
+        assert_eq!(d.entry_bytes, 512);
+    }
+
+    #[test]
+    fn mag_uses_f16() {
+        let d = gnn_preset(GnnDatasetId::Mag, 4096, 1);
+        assert_eq!(d.entry_bytes, 1536);
+        assert_eq!(d.dim, 768);
+    }
+
+    #[test]
+    fn train_set_is_one_percent_unique() {
+        let d = gnn_preset(GnnDatasetId::Cf, 1024, 2);
+        let n = d.num_entries();
+        assert_eq!(d.train_set.len(), n / 100);
+        let mut t = d.train_set.clone();
+        t.sort_unstable();
+        t.dedup();
+        assert_eq!(t.len(), d.train_set.len());
+    }
+
+    #[test]
+    fn gnn_preset_deterministic() {
+        let a = gnn_preset(GnnDatasetId::Pa, 2048, 9);
+        let b = gnn_preset(GnnDatasetId::Pa, 2048, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dlr_cr_is_heterogeneous() {
+        let d = dlr_preset(DlrDatasetId::Cr, 256);
+        assert_eq!(d.num_tables(), 26);
+        assert!(d.table_sizes[0] > d.table_sizes[25] * 100);
+        // Offsets are proper prefix sums.
+        for t in 1..26 {
+            assert_eq!(
+                d.table_offsets[t],
+                d.table_offsets[t - 1] + d.table_sizes[t - 1]
+            );
+        }
+    }
+
+    #[test]
+    fn syn_presets_match_paper_parameters() {
+        let a = dlr_preset(DlrDatasetId::SynA, 256);
+        let b = dlr_preset(DlrDatasetId::SynB, 256);
+        assert_eq!(a.num_tables(), 100);
+        assert_eq!(a.alpha, 1.2);
+        assert_eq!(b.alpha, 1.4);
+        assert_eq!(a.table_sizes[0], 8_000_000 / 256);
+    }
+
+    #[test]
+    fn volume_scales_with_divisor() {
+        let big = dlr_preset(DlrDatasetId::SynA, 128);
+        let small = dlr_preset(DlrDatasetId::SynA, 256);
+        let ratio = big.volume_bytes() as f64 / small.volume_bytes() as f64;
+        assert!((ratio - 2.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,212 @@
+//! DLR inference request streams.
+
+use crate::datasets::DlrDataset;
+use cache_policy::Hotness;
+use emb_util::{seed_rng, split_seed, ZipfSampler};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// A data-parallel DLR inference workload: each request carries one key
+/// per embedding table (paper §8.1, Criteo layout); a batch of `B`
+/// requests on a GPU therefore touches up to `B × num_tables` keys, which
+/// are deduplicated before extraction as real systems do.
+#[derive(Debug, Clone)]
+pub struct DlrWorkload {
+    dataset: DlrDataset,
+    batch_size: usize,
+    num_gpus: usize,
+    samplers: Vec<ZipfSampler>,
+    rngs: Vec<StdRng>,
+}
+
+/// Ground-truth hotness mode for DLR datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DlrHotness {
+    /// Exact Zipf masses (what an oracle profiler would converge to).
+    Analytic,
+    /// Empirical counts over a number of profiled batches.
+    Profiled {
+        /// Batches to sample.
+        batches: usize,
+    },
+}
+
+impl DlrWorkload {
+    /// Creates a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0` or `num_gpus == 0`.
+    pub fn new(dataset: DlrDataset, batch_size: usize, num_gpus: usize, seed: u64) -> Self {
+        assert!(batch_size > 0 && num_gpus > 0);
+        let samplers = dataset
+            .table_sizes
+            .iter()
+            .map(|&n| ZipfSampler::new(n.max(1), dataset.alpha))
+            .collect();
+        let rngs = (0..num_gpus)
+            .map(|g| seed_rng(split_seed(seed, 0xD1B + g as u64)))
+            .collect();
+        DlrWorkload {
+            dataset,
+            batch_size,
+            num_gpus,
+            samplers,
+            rngs,
+        }
+    }
+
+    /// The dataset.
+    pub fn dataset(&self) -> &DlrDataset {
+        &self.dataset
+    }
+
+    /// Draws the next iteration's deduplicated keys per GPU.
+    pub fn next_batch(&mut self) -> Vec<Vec<u32>> {
+        let mut out = Vec::with_capacity(self.num_gpus);
+        for g in 0..self.num_gpus {
+            let rng = &mut self.rngs[g];
+            let mut keys: Vec<u32> =
+                Vec::with_capacity(self.batch_size * self.dataset.table_sizes.len());
+            for _ in 0..self.batch_size {
+                for (t, sampler) in self.samplers.iter().enumerate() {
+                    let k = sampler.sample(rng);
+                    keys.push((self.dataset.table_offsets[t] + k) as u32);
+                }
+            }
+            keys.sort_unstable();
+            keys.dedup();
+            out.push(keys);
+        }
+        out
+    }
+
+    /// Mean unique keys per GPU per iteration over `iters` batches.
+    pub fn measure_accesses_per_iter(&mut self, iters: usize) -> f64 {
+        let mut total = 0usize;
+        for _ in 0..iters.max(1) {
+            total += self.next_batch().iter().map(|b| b.len()).sum::<usize>();
+        }
+        total as f64 / (iters.max(1) * self.num_gpus) as f64
+    }
+
+    /// Hotness over the global key space.
+    pub fn hotness(&mut self, mode: DlrHotness) -> Hotness {
+        match mode {
+            DlrHotness::Analytic => {
+                let mut w = Vec::with_capacity(self.dataset.num_entries());
+                for &n in &self.dataset.table_sizes {
+                    // Unnormalized Zipf mass per in-table rank; tables share
+                    // the request rate, so masses are comparable as-is.
+                    let norm: f64 = (1..=n).map(|r| (r as f64).powf(-self.dataset.alpha)).sum();
+                    for r in 0..n {
+                        w.push(((r + 1) as f64).powf(-self.dataset.alpha) / norm);
+                    }
+                }
+                Hotness::new(w)
+            }
+            DlrHotness::Profiled { batches } => {
+                // Count raw request keys (pre-dedup): deduplicated batch
+                // membership saturates for hot keys and destroys ordering.
+                let mut counts = vec![0u64; self.dataset.num_entries()];
+                for _ in 0..batches {
+                    for g in 0..self.num_gpus {
+                        let rng = &mut self.rngs[g];
+                        for _ in 0..self.batch_size {
+                            for (t, sampler) in self.samplers.iter().enumerate() {
+                                let k = sampler.sample(rng);
+                                counts[(self.dataset.table_offsets[t] + k) as usize] += 1;
+                            }
+                        }
+                    }
+                }
+                Hotness::from_counts(&counts)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{dlr_preset, DlrDatasetId};
+
+    fn workload(id: DlrDatasetId) -> DlrWorkload {
+        DlrWorkload::new(dlr_preset(id, 4096), 512, 4, 11)
+    }
+
+    #[test]
+    fn batch_shape_and_dedup() {
+        let mut w = workload(DlrDatasetId::SynA);
+        let b = w.next_batch();
+        assert_eq!(b.len(), 4);
+        for keys in &b {
+            // ≤ batch × tables, deduped and sorted.
+            assert!(keys.len() <= 512 * 100);
+            assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn keys_land_in_their_tables() {
+        let mut w = workload(DlrDatasetId::Cr);
+        let d = w.dataset().clone();
+        let total = d.num_entries() as u32;
+        for keys in w.next_batch() {
+            for k in keys {
+                assert!(k < total);
+            }
+        }
+    }
+
+    #[test]
+    fn higher_alpha_dedups_harder() {
+        // SYN-B (α=1.4) is more skewed than SYN-A (α=1.2): more duplicate
+        // draws → fewer unique keys per batch.
+        let mut a = workload(DlrDatasetId::SynA);
+        let mut b = workload(DlrDatasetId::SynB);
+        let ua = a.measure_accesses_per_iter(3);
+        let ub = b.measure_accesses_per_iter(3);
+        assert!(ub < ua, "SYN-B {ub} vs SYN-A {ua}");
+    }
+
+    #[test]
+    fn analytic_hotness_matches_profiled_ranking() {
+        let mut w = DlrWorkload::new(dlr_preset(DlrDatasetId::SynA, 65536), 512, 2, 3);
+        let analytic = w.hotness(DlrHotness::Analytic);
+        let profiled = w.hotness(DlrHotness::Profiled { batches: 20 });
+        // Per-table rank-0 keys must dominate in both.
+        let d = w.dataset().clone();
+        let top_analytic: std::collections::HashSet<u32> = analytic
+            .ranking()
+            .into_iter()
+            .take(d.num_tables())
+            .collect();
+        let top_profiled: std::collections::HashSet<u32> = profiled
+            .ranking()
+            .into_iter()
+            .take(d.num_tables())
+            .collect();
+        let overlap = top_analytic.intersection(&top_profiled).count();
+        assert!(
+            overlap * 2 >= d.num_tables(),
+            "{overlap}/{} hot keys agree",
+            d.num_tables()
+        );
+    }
+
+    #[test]
+    fn analytic_hotness_sums_to_tables() {
+        let mut w = workload(DlrDatasetId::SynA);
+        let h = w.hotness(DlrHotness::Analytic);
+        // Each of the 100 tables contributes probability mass 1.
+        assert!((h.total() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = workload(DlrDatasetId::SynB);
+        let mut b = workload(DlrDatasetId::SynB);
+        assert_eq!(a.next_batch(), b.next_batch());
+    }
+}

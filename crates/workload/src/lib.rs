@@ -1,0 +1,23 @@
+//! EmbDL workload generation: datasets and batch streams.
+//!
+//! The paper evaluates two application families; this crate generates
+//! both, scaled to development-machine sizes while preserving the
+//! properties that drive cache behaviour (access skew, batch volume per
+//! iteration, entry dimensionality):
+//!
+//! * [`gnn`] — GNN training workloads over `emb-graph` power-law graphs:
+//!   per-iteration seed batches, k-hop sampling, pre-sampling hotness
+//!   profiling (GNNLab-style) and degree-based hotness (PaGraph-style);
+//! * [`dlr`] — DLR inference workloads: multi-table Zipfian request
+//!   streams (Criteo-TB-like heterogeneous tables, SYN-A/SYN-B synthetic
+//!   uniform tables);
+//! * [`datasets`] — the six named presets of Table 3 with a configurable
+//!   scale divisor.
+
+pub mod datasets;
+pub mod dlr;
+pub mod gnn;
+
+pub use datasets::{dlr_preset, gnn_preset, DlrDataset, DlrDatasetId, GnnDataset, GnnDatasetId};
+pub use dlr::DlrWorkload;
+pub use gnn::{GnnModel, GnnWorkload};

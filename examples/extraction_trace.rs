@@ -1,0 +1,80 @@
+//! Extraction schedule visualization: run one factored extraction and one
+//! naive-peer extraction through the traced simulator and render the
+//! per-source core occupancy over time — the live version of the paper's
+//! Figure 8 schedule sketch.
+//!
+//! Run with: `cargo run --release --example extraction_trace`
+
+use cache_policy::{baselines, Hotness};
+use emb_util::zipf::powerlaw_hotness;
+use emb_util::{seed_rng, SimTime, ZipfSampler};
+use gpu_memsim::{simulate_traced, DispatchMode, GpuWork, SimConfig, SourceDemand};
+use gpu_platform::{DedicationConfig, Location, Platform};
+
+fn main() {
+    let plat = Platform::server_a();
+    let n = 50_000usize;
+    let hotness = Hotness::new(powerlaw_hotness(n, 1.2));
+    let placement = baselines::partition(&plat, &hotness, 2_500).expect("Server A is uniform");
+
+    // One iteration's key batches → per-source byte demands.
+    let zipf = ZipfSampler::new(n as u64, 1.2);
+    let mut rng = seed_rng(5);
+    let works: Vec<GpuWork> = (0..plat.num_gpus())
+        .map(|gpu| {
+            let mut keys: Vec<u32> = (0..25_000).map(|_| zipf.sample(&mut rng) as u32).collect();
+            keys.sort_unstable();
+            keys.dedup();
+            let demands: Vec<SourceDemand> = placement
+                .split_keys(gpu, &keys)
+                .into_iter()
+                .map(|(src, count)| SourceDemand {
+                    src,
+                    bytes: count as f64 * 512.0,
+                })
+                .collect();
+            GpuWork { gpu, demands }
+        })
+        .collect();
+
+    let cfg = SimConfig {
+        launch_overhead: SimTime::ZERO,
+        ..SimConfig::default()
+    };
+    let sources: Vec<Location> = (0..plat.num_gpus())
+        .map(Location::Gpu)
+        .chain([Location::Host])
+        .collect();
+
+    for (label, mode) in [
+        (
+            "factored extraction (UGache §5.3)",
+            DispatchMode::Factored {
+                dedication: DedicationConfig::default(),
+            },
+        ),
+        (
+            "naive peer (random static dispatch)",
+            DispatchMode::RandomShared { seed: 5 },
+        ),
+    ] {
+        let (result, trace) = simulate_traced(&plat, &cfg, &works, mode);
+        println!("\n=== {label} ===");
+        println!(
+            "makespan {} | GPU0 core utilization {:.1}%",
+            result.makespan,
+            trace.core_utilization(0, plat.gpus[0].sm_count) * 100.0
+        );
+        println!(
+            "GPU0 core occupancy by source over time (rows: sources; density = active cores):"
+        );
+        print!(
+            "{}",
+            trace.render_occupancy(0, &sources, 72, plat.gpus[0].sm_count)
+        );
+        println!("core-seconds per source on GPU0:");
+        for (src, busy) in trace.busy_per_source(0) {
+            println!("  {:>5}: {:.3} ms·core", src.to_string(), busy * 1e3);
+        }
+    }
+}

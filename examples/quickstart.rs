@@ -1,0 +1,81 @@
+//! Quickstart: build a UGache over a simulated 4×V100 machine, gather
+//! real embedding vectors through the framework adapters, and time one
+//! data-parallel extraction.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cache_policy::Hotness;
+use emb_cache::HostTable;
+use emb_util::zipf::powerlaw_hotness;
+use gpu_platform::Platform;
+use ugache::framework::TorchStyleLayer;
+use ugache::{UGache, UGacheConfig};
+
+fn main() {
+    // An embedding table: 100K entries × 32 floats, procedurally valued
+    // (same bytes a real table would hold, O(1) memory).
+    let num_entries = 100_000;
+    let dim = 32;
+    let host = HostTable::procedural(num_entries, dim);
+
+    // Skewed access frequencies, as EmbDL workloads exhibit (paper §2).
+    let hotness = Hotness::new(powerlaw_hotness(num_entries, 1.2));
+
+    // The platform: Server A from the paper (4×V100, hard-wired NVLink).
+    let platform = Platform::server_a();
+    let num_gpus = platform.num_gpus();
+
+    // Each GPU can cache 5% of the table.
+    let cap = num_entries / 20;
+
+    // Build: profiles the platform, solves the placement MILP/LP, fills
+    // the per-GPU arenas, stands up the factored extractor.
+    let cfg = UGacheConfig::new(dim * 4, 20_000.0);
+    let mut ugache =
+        UGache::build(platform, host, &hotness, vec![cap; num_gpus], cfg).expect("build");
+
+    println!(
+        "predicted extraction / iteration: {:.3} ms",
+        ugache.predicted_extraction_secs() * 1e3
+    );
+    let placement = ugache.placement();
+    println!(
+        "placement: {} entries cached per GPU, local hit rate {:.1}%, global {:.1}%",
+        placement.cached_count(0),
+        placement.local_hit_rate(&hotness) * 100.0,
+        placement.global_hit_rate(&hotness) * 100.0,
+    );
+
+    // Functional path: a PyTorch-style embedding layer on GPU 0.
+    let mut layer = TorchStyleLayer::new(&mut ugache, 0, dim);
+    let keys = [0u32, 42, 99_999];
+    let t = layer.forward(&keys);
+    println!(
+        "forward({keys:?}) -> {}x{} tensor; first row starts with {:.4}",
+        t.rows,
+        t.cols,
+        t.row(0)[0]
+    );
+    println!(
+        "lookup split: {} local / {} remote / {} host",
+        layer.last_stats.local, layer.last_stats.remote, layer.last_stats.host
+    );
+
+    // Timed path: one data-parallel iteration of 20K Zipf-drawn keys/GPU.
+    let zipf = emb_util::ZipfSampler::new(num_entries as u64, 1.2);
+    let mut rng = emb_util::seed_rng(7);
+    let batches: Vec<Vec<u32>> = (0..num_gpus)
+        .map(|_| {
+            let mut v: Vec<u32> = (0..20_000).map(|_| zipf.sample(&mut rng) as u32).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        })
+        .collect();
+    let report = ugache.process_iteration(&batches);
+    println!(
+        "simulated extraction of {} unique keys/GPU: {} (on-model hardware)",
+        batches[0].len(),
+        report.extract.makespan
+    );
+}

@@ -1,0 +1,78 @@
+//! Topology explorer: inspect the three paper testbeds — connectivity,
+//! bandwidth hierarchy, profiled `T`/`R` matrices and the Figure-6-style
+//! bandwidth-vs-cores curves the whole system is calibrated against.
+//!
+//! Run with: `cargo run --release --example topology_explorer`
+
+use gpu_memsim::{microbench, CongestionModel};
+use gpu_platform::{DedicationConfig, Location, Platform, Profile};
+
+fn main() {
+    for platform in [
+        Platform::server_a(),
+        Platform::server_b(),
+        Platform::server_c(),
+    ] {
+        println!("\n================ {} ================", platform.name);
+        let g = platform.num_gpus();
+        println!(
+            "{} × {} | host mem {} GiB",
+            g,
+            platform.gpus[0].name,
+            platform.host_mem_bytes >> 30
+        );
+
+        // Connectivity matrix.
+        println!("\nconnectivity (bandwidth GB/s, '-' = unconnected):");
+        print!("      ");
+        for j in 0..g {
+            print!("{:>7}", format!("G{j}"));
+        }
+        println!("{:>7}", "Host");
+        for i in 0..g {
+            print!("G{i:<5}");
+            for j in 0..g {
+                if i == j {
+                    print!("{:>7}", "local");
+                } else if platform.connected(i, Location::Gpu(j)) {
+                    print!("{:>7.0}", platform.path(i, Location::Gpu(j)).bw / 1e9);
+                } else {
+                    print!("{:>7}", "-");
+                }
+            }
+            println!("{:>7.0}", platform.path(i, Location::Host).bw / 1e9);
+        }
+
+        // Cliques (what Quiver-style partitioning would use).
+        println!(
+            "\nfully-connected cliques: {:?}",
+            platform.fully_connected_groups()
+        );
+
+        // Profiled effective bandwidths (the solver's T matrix, inverted).
+        let prof = Profile::new(&platform, DedicationConfig::default());
+        println!("\nprofiled effective GB/s for GPU0 (concurrent extraction):");
+        for j in platform.locations() {
+            let t = prof.t(0, j);
+            if t.is_finite() {
+                println!(
+                    "  ← {:<5} {:>8.1} GB/s (dedicated cores: {})",
+                    j.to_string(),
+                    1.0 / t / 1e9,
+                    prof.cores[0][prof.loc_index(j)]
+                );
+            } else {
+                println!("  ← {:<5} unreachable", j.to_string());
+            }
+        }
+
+        // A slice of Figure 6.
+        let model = CongestionModel::default();
+        println!("\nbandwidth vs cores, GPU0 ← host (Figure 6 series):");
+        for cores in [1, 2, 4, 8, 16, 32, platform.gpus[0].sm_count] {
+            let bw =
+                microbench::bandwidth_with_cores(&platform, 0, Location::Host, cores, &[], model);
+            println!("  {cores:>4} cores: {:>6.1} GB/s", bw / 1e9);
+        }
+    }
+}
