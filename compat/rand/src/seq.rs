@@ -1,0 +1,121 @@
+//! Sequence helpers, mirroring `rand::seq`.
+
+use crate::Rng;
+
+/// Iterator over elements picked by [`SliceRandom::choose_multiple`].
+#[derive(Debug)]
+pub struct SliceChooseIter<'a, T> {
+    items: std::vec::IntoIter<&'a T>,
+}
+
+impl<'a, T> Iterator for SliceChooseIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        self.items.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.items.size_hint()
+    }
+}
+
+impl<T> ExactSizeIterator for SliceChooseIter<'_, T> {}
+
+/// Random slice operations, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Picks one element uniformly, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Picks `amount` distinct elements uniformly (fewer if the slice is
+    /// shorter), in random order.
+    fn choose_multiple<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'_, Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = crate::SampleUniform::sample_half_open(0usize, i + 1, rng);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let i = crate::SampleUniform::sample_half_open(0usize, self.len(), rng);
+            Some(&self[i])
+        }
+    }
+
+    fn choose_multiple<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'_, T> {
+        let amount = amount.min(self.len());
+        // Partial Fisher–Yates over an index vector: the first `amount`
+        // slots end up holding a uniform sample without replacement.
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        for i in 0..amount {
+            let j = crate::SampleUniform::sample_half_open(i, idx.len(), rng);
+            idx.swap(i, j);
+        }
+        let picked: Vec<&T> = idx[..amount].iter().map(|&i| &self[i]).collect();
+        SliceChooseIter {
+            items: picked.into_iter(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn choose_multiple_is_distinct_and_capped() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let v: Vec<u32> = (0..10).collect();
+        let picked: Vec<u32> = v.choose_multiple(&mut rng, 4).copied().collect();
+        assert_eq!(picked.len(), 4);
+        let mut p = picked.clone();
+        p.sort_unstable();
+        p.dedup();
+        assert_eq!(p.len(), 4);
+        let over: Vec<u32> = v.choose_multiple(&mut rng, 99).copied().collect();
+        assert_eq!(over.len(), 10);
+    }
+
+    #[test]
+    fn choose_on_empty_is_none() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v: Vec<u32> = vec![];
+        assert!(v.choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build sandbox and CI cannot reach a crates registry, so this
+//! in-repo crate provides the serialization half of serde's data model —
+//! the [`Serialize`]/[`Serializer`] traits, the compound-serializer
+//! traits in [`ser`], and impls for the std types the workspace
+//! serializes — plus a `#[derive(Serialize)]` for named-field structs
+//! (re-exported from the in-repo `serde_derive`).
+//!
+//! Deserialization is intentionally absent: repro artifacts are read
+//! back through `ugache_bench::json::parse`, which produces a dynamic
+//! value tree and needs no `Deserialize` machinery.
+
+pub mod ser;
+
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::Serialize;

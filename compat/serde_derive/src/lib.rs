@@ -1,0 +1,162 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Provides `#[derive(Serialize)]` for **named-field structs** — the
+//! only shape the workspace derives on. The real `serde_derive` pulls in
+//! `syn`/`quote`, which the offline sandbox cannot fetch, so this macro
+//! parses the raw [`proc_macro::TokenStream`] directly: it skips
+//! attributes and visibility, reads the struct name, collects the field
+//! names from the brace group (splitting on top-level commas, tracking
+//! angle-bracket depth so `HashMap<K, V>` fields don't split), and emits
+//! a `serde::Serialize` impl via `serialize_struct`/`serialize_field`.
+//!
+//! Enums, tuple structs, unit structs, and generic structs are rejected
+//! with a `compile_error!` rather than silently mis-serialized; the one
+//! enum the workspace serializes (`ugache_bench::artifact::TargetData`)
+//! has a manual impl instead.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(code) => code.parse().expect("generated impl must parse"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<String, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (`#` followed by a bracket group) and
+    // visibility (`pub`, optionally followed by a paren group as in
+    // `pub(crate)`).
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    _ => return Err("malformed attribute".into()),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {}
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+            return Err("this offline serde_derive only supports structs; \
+                 write a manual Serialize impl for enums"
+                .into());
+        }
+        _ => return Err("expected `struct`".into()),
+    }
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected struct name".into()),
+    };
+
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err("this offline serde_derive does not support generic structs".into());
+        }
+        _ => {
+            return Err("this offline serde_derive only supports named-field structs".into());
+        }
+    };
+
+    let fields = field_names(body)?;
+
+    let mut code = String::new();
+    code.push_str(&format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn serialize<__S: serde::Serializer>(&self, serializer: __S) \
+         -> std::result::Result<__S::Ok, __S::Error> {{\n\
+         let mut state = serde::Serializer::serialize_struct(serializer, \
+         {name:?}, {})?;\n",
+        fields.len()
+    ));
+    for f in &fields {
+        code.push_str(&format!(
+            "serde::ser::SerializeStruct::serialize_field(&mut state, {f:?}, &self.{f})?;\n"
+        ));
+    }
+    code.push_str("serde::ser::SerializeStruct::end(state)\n}\n}\n");
+    Ok(code)
+}
+
+/// Extracts field names from the brace-group body of a named-field
+/// struct: per field, skips attributes and visibility, then takes the
+/// ident immediately before the `:`. Fields are separated by commas at
+/// angle-bracket depth zero (commas inside parenthesized tuple types are
+/// already nested in their own group; commas inside `<...>` need the
+/// depth counter).
+fn field_names(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut at_field_start = true;
+    let mut expect_name = false;
+    let mut pending: Option<String> = None;
+
+    let mut tokens = body.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                at_field_start = true;
+                expect_name = false;
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == '#' && at_field_start => {
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    _ => return Err("malformed field attribute".into()),
+                }
+                continue;
+            }
+            TokenTree::Ident(id) if at_field_start => {
+                let s = id.to_string();
+                if s == "pub" {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                } else {
+                    pending = Some(s);
+                    at_field_start = false;
+                    expect_name = true;
+                }
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && expect_name => {
+                match pending.take() {
+                    Some(name) => fields.push(name),
+                    None => return Err("field without a name".into()),
+                }
+                expect_name = false;
+                continue;
+            }
+            _ => {}
+        }
+        at_field_start = false;
+    }
+
+    if fields.is_empty() {
+        return Err("this offline serde_derive requires at least one named field".into());
+    }
+    Ok(fields)
+}

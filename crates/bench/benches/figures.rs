@@ -22,30 +22,34 @@ fn tiny() -> Scenario {
 fn bench_table1_breakdown(c: &mut Criterion) {
     let s = tiny();
     c.bench_function("table1_breakdown", |b| {
-        b.iter(|| black_box(table1::run(&s)))
+        b.iter(|| black_box(table1::compute(&s)))
     });
 }
 
 fn bench_fig02_policy_sweep(c: &mut Criterion) {
     let s = tiny();
     c.bench_function("fig02_policy_sweep", |b| {
-        b.iter(|| black_box(fig02::run(&s)))
+        b.iter(|| black_box(fig02::compute(&s)))
     });
 }
 
 fn bench_fig04_mechanisms(c: &mut Criterion) {
     let s = tiny();
-    c.bench_function("fig04_mechanisms", |b| b.iter(|| black_box(fig04::run(&s))));
+    c.bench_function("fig04_mechanisms", |b| {
+        b.iter(|| black_box(fig04::compute(&s)))
+    });
 }
 
 fn bench_fig06_bandwidth(c: &mut Criterion) {
     let s = tiny();
-    c.bench_function("fig06_bandwidth", |b| b.iter(|| black_box(fig06::run(&s))));
+    c.bench_function("fig06_bandwidth", |b| {
+        b.iter(|| black_box(fig06::compute(&s)))
+    });
 }
 
 fn bench_fig09_blocks(c: &mut Criterion) {
     let s = tiny();
-    c.bench_function("fig09_blocks", |b| b.iter(|| black_box(fig09::run(&s))));
+    c.bench_function("fig09_blocks", |b| b.iter(|| black_box(fig09::compute(&s))));
 }
 
 fn bench_fig10_gnn_cell(c: &mut Criterion) {
@@ -99,35 +103,35 @@ fn bench_fig10_dlr_cell(c: &mut Criterion) {
 fn bench_fig12_incremental(c: &mut Criterion) {
     let s = tiny();
     c.bench_function("fig12_incremental", |b| {
-        b.iter(|| black_box(fig12::run(&s)))
+        b.iter(|| black_box(fig12::compute(&s)))
     });
 }
 
 fn bench_fig13_utilization(c: &mut Criterion) {
     let s = tiny();
     c.bench_function("fig13_utilization", |b| {
-        b.iter(|| black_box(fig13::run(&s)))
+        b.iter(|| black_box(fig13::compute(&s)))
     });
 }
 
 fn bench_fig14_access_split(c: &mut Criterion) {
     let s = tiny();
     c.bench_function("fig14_access_split", |b| {
-        b.iter(|| black_box(fig14::run(&s)))
+        b.iter(|| black_box(fig14::compute(&s)))
     });
 }
 
 fn bench_fig16_optimal_gap(c: &mut Criterion) {
     let s = tiny();
     c.bench_function("fig16_optimal_gap", |b| {
-        b.iter(|| black_box(fig16::run(&s)))
+        b.iter(|| black_box(fig16::compute(&s)))
     });
 }
 
 fn bench_fig17_refresh_timeline(c: &mut Criterion) {
     let s = tiny();
     c.bench_function("fig17_refresh_timeline", |b| {
-        b.iter(|| black_box(fig17::run(&s)))
+        b.iter(|| black_box(fig17::compute(&s)))
     });
 }
 

@@ -1,0 +1,238 @@
+//! Stable-schema JSON artifacts for `repro` targets.
+//!
+//! Every target serializes to one `<target>.json` file with the same
+//! envelope:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "target": "fig12",
+//!   "seed": 24301,
+//!   "scenario": { ... },
+//!   "data": <target-specific payload>
+//! }
+//! ```
+//!
+//! The payload is the figure module's `compute` result, serialized
+//! untagged (the `target` field already identifies its shape). Artifacts
+//! are rendered with [`crate::json::to_string_pretty`], which is
+//! deterministic: two runs of the same target at the same scenario
+//! produce byte-identical files. [`diff_dirs`] compares two artifact
+//! directories structurally, for `repro diff`.
+
+use crate::figures::*;
+use crate::json;
+use crate::scenario::{Scenario, SEED};
+use serde::{Serialize, Serializer};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Version of the artifact envelope; bump on any breaking schema change.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The computed result of one repro unit, ready for rendering or
+/// serialization.
+#[derive(Debug, Clone)]
+pub enum TargetData {
+    /// Table 1 breakdown.
+    Table1(table1::Breakdown),
+    /// Table 3 rows.
+    Table3(Vec<table3::Row>),
+    /// Figure 2 points.
+    Fig2(Vec<fig02::Point>),
+    /// Figure 4 bar groups.
+    Fig4(Vec<fig04::Bars>),
+    /// Figure 6 series.
+    Fig6(Vec<fig06::Series>),
+    /// Figure 8 dedication sweep.
+    Fig8(Vec<fig08::Dedication>),
+    /// Figure 9 block-count study.
+    Fig9(fig09::Fig09Data),
+    /// Figures 10 and 11 share one computation.
+    Fig10(fig10::Data),
+    /// Figure 12 points.
+    Fig12(Vec<fig12::Point>),
+    /// Figure 13 utilizations.
+    Fig13(Vec<fig13::Util>),
+    /// Figures 14/15 access splits.
+    Fig14(Vec<fig14::Split>),
+    /// Figure 16 gaps.
+    Fig16(Vec<fig16::Gap>),
+    /// Figure 17 refresh timeline.
+    Fig17(fig17::Fig17Data),
+    /// Hotness-source study rows.
+    Hotness(Vec<hotness_sources::SourceRow>),
+}
+
+// Untagged: the envelope's `target` field already names the variant, so
+// the payload serializes as the inner value directly. (The derive shim
+// only handles named-field structs, hence the manual impl.)
+impl Serialize for TargetData {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            TargetData::Table1(v) => v.serialize(serializer),
+            TargetData::Table3(v) => v.serialize(serializer),
+            TargetData::Fig2(v) => v.serialize(serializer),
+            TargetData::Fig4(v) => v.serialize(serializer),
+            TargetData::Fig6(v) => v.serialize(serializer),
+            TargetData::Fig8(v) => v.serialize(serializer),
+            TargetData::Fig9(v) => v.serialize(serializer),
+            TargetData::Fig10(v) => v.serialize(serializer),
+            TargetData::Fig12(v) => v.serialize(serializer),
+            TargetData::Fig13(v) => v.serialize(serializer),
+            TargetData::Fig14(v) => v.serialize(serializer),
+            TargetData::Fig16(v) => v.serialize(serializer),
+            TargetData::Fig17(v) => v.serialize(serializer),
+            TargetData::Hotness(v) => v.serialize(serializer),
+        }
+    }
+}
+
+/// The artifact envelope written for each target.
+#[derive(Debug, Clone, Serialize)]
+pub struct Artifact {
+    /// Envelope schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Target name as accepted by the `repro` CLI.
+    pub target: String,
+    /// The global deterministic seed the run used.
+    pub seed: u64,
+    /// Full scenario configuration the data was computed under.
+    pub scenario: Scenario,
+    /// Target-specific payload (untagged).
+    pub data: TargetData,
+}
+
+impl Artifact {
+    /// Wraps a computed result in the envelope.
+    pub fn new(target: &str, scenario: &Scenario, data: TargetData) -> Self {
+        Artifact {
+            schema_version: SCHEMA_VERSION,
+            target: target.to_string(),
+            seed: SEED,
+            scenario: *scenario,
+            data,
+        }
+    }
+
+    /// Renders the artifact as deterministic pretty JSON (trailing
+    /// newline included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails, which would indicate a bug in the
+    /// figure structs (they contain no maps with non-string keys).
+    pub fn to_json(&self) -> String {
+        let mut s = json::to_string_pretty(self).expect("artifact serializes");
+        s.push('\n');
+        s
+    }
+
+    /// Writes the artifact to `dir/<target>.json`, creating `dir` if
+    /// needed. Returns the written path.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or writing the
+    /// file.
+    pub fn write(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.target));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// Lists the `.json` artifact file stems in `dir`, sorted.
+fn artifact_stems(dir: &Path) -> io::Result<Vec<String>> {
+    let mut stems = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) == Some("json") {
+            if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                stems.push(stem.to_string());
+            }
+        }
+    }
+    stems.sort();
+    Ok(stems)
+}
+
+/// Recursively records structural differences between two JSON values.
+fn diff_values(path: &str, a: &json::Value, b: &json::Value, out: &mut Vec<String>) {
+    use json::Value;
+    match (a, b) {
+        (Value::Obj(ka), Value::Obj(kb)) => {
+            for (k, va) in ka {
+                match kb.iter().find(|(k2, _)| k2 == k) {
+                    Some((_, vb)) => diff_values(&format!("{path}.{k}"), va, vb, out),
+                    None => out.push(format!("{path}.{k}: missing on right")),
+                }
+            }
+            for (k, _) in kb {
+                if !ka.iter().any(|(k2, _)| k2 == k) {
+                    out.push(format!("{path}.{k}: missing on left"));
+                }
+            }
+        }
+        (Value::Arr(va), Value::Arr(vb)) => {
+            if va.len() != vb.len() {
+                out.push(format!("{path}: array length {} vs {}", va.len(), vb.len()));
+            }
+            for (i, (x, y)) in va.iter().zip(vb.iter()).enumerate() {
+                diff_values(&format!("{path}[{i}]"), x, y, out);
+            }
+        }
+        _ => {
+            if a != b {
+                out.push(format!(
+                    "{path}: {} vs {}",
+                    a.render_pretty().replace('\n', " "),
+                    b.render_pretty().replace('\n', " ")
+                ));
+            }
+        }
+    }
+}
+
+/// Structurally compares two artifact directories.
+///
+/// Returns one human-readable line per difference (missing files, parse
+/// failures, diverging values); an empty vector means the directories
+/// hold identical artifacts.
+///
+/// # Errors
+///
+/// Returns any I/O error from listing the directories or reading files.
+pub fn diff_dirs(a: &Path, b: &Path) -> io::Result<Vec<String>> {
+    let stems_a = artifact_stems(a)?;
+    let stems_b = artifact_stems(b)?;
+    let mut out = Vec::new();
+    for stem in &stems_a {
+        if !stems_b.contains(stem) {
+            out.push(format!("{stem}.json: only in {}", a.display()));
+        }
+    }
+    for stem in &stems_b {
+        if !stems_a.contains(stem) {
+            out.push(format!("{stem}.json: only in {}", b.display()));
+        }
+    }
+    for stem in stems_a.iter().filter(|s| stems_b.contains(s)) {
+        let file = format!("{stem}.json");
+        let ta = std::fs::read_to_string(a.join(&file))?;
+        let tb = std::fs::read_to_string(b.join(&file))?;
+        match (json::parse(&ta), json::parse(&tb)) {
+            (Ok(va), Ok(vb)) => diff_values(&file, &va, &vb, &mut out),
+            (ra, rb) => {
+                if let Err(e) = ra {
+                    out.push(format!("{file}: unparseable in {}: {e}", a.display()));
+                }
+                if let Err(e) = rb {
+                    out.push(format!("{file}: unparseable in {}: {e}", b.display()));
+                }
+            }
+        }
+    }
+    Ok(out)
+}

@@ -2,128 +2,112 @@
 //!
 //! Usage:
 //! ```text
-//! repro [--full] <target>...
+//! repro [--full] [--jobs N] <target>...
+//! repro [--full] [--jobs N] --json --out DIR <target>...
+//! repro diff <dir-a> <dir-b>
 //! repro list
 //! repro all
 //! ```
+//!
 //! Targets: table1 table3 fig2 fig4 fig6 fig8 fig9 fig10 fig11 fig12
-//! fig13 fig14 fig15 fig16 fig17. `--full` uses larger scaled datasets
-//! (slower, smoother series); `--gnn-scale=N` / `--dlr-scale=N` override
-//! the dataset scale divisors explicitly.
+//! fig13 fig14 fig15 fig16 fig17 hotness. `--full` uses larger scaled
+//! datasets (slower, smoother series); `--gnn-scale=N` / `--dlr-scale=N`
+//! override the dataset scale divisors explicitly. `--jobs N` computes
+//! targets on N worker threads; output order and artifact bytes are
+//! identical to a serial run. `--json --out DIR` writes one
+//! stable-schema JSON artifact per target instead of pretty-printing;
+//! `repro diff` structurally compares two artifact directories.
 
+use ugache_bench::artifact::{diff_dirs, Artifact, TargetData};
+use ugache_bench::cli::{self, Command, RunSpec};
 use ugache_bench::figures::*;
+use ugache_bench::runner::{run_units, units_for, Unit};
 use ugache_bench::Scenario;
-
-const TARGETS: &[&str] = &[
-    "table1", "table3", "fig2", "fig4", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "fig14", "fig15", "fig16", "fig17", "hotness",
-];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
-    let flag = |name: &str| -> Option<usize> {
-        args.iter()
-            .find_map(|a| a.strip_prefix(&format!("--{name}=")))
-            .and_then(|v| v.parse().ok())
-    };
-    let gnn_scale = flag("gnn-scale");
-    let dlr_scale = flag("dlr-scale");
-    let mut targets: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .cloned()
-        .collect();
-    if targets.is_empty() || targets.iter().any(|t| t == "list") {
-        println!("targets: {} | all", TARGETS.join(" "));
-        if targets.is_empty() {
-            println!("usage: repro [--full] <target>... (or: repro all)");
+    let cmd = match cli::parse(&args) {
+        Ok(cmd) => cmd,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
         }
-        return;
-    }
-    if targets.iter().any(|t| t == "all") {
-        targets = TARGETS.iter().map(|s| s.to_string()).collect();
-    }
-    // fig14 and fig15 are one combined module; run it once.
-    for t in targets.iter_mut() {
-        if t == "fig15" {
-            *t = "fig14".to_string();
-        }
-    }
-    targets.dedup();
-    let mut s = if full {
-        Scenario::full()
-    } else {
-        Scenario::quick()
     };
-    if let Some(g) = gnn_scale {
-        s.gnn_scale = g.max(1);
-    }
-    if let Some(d) = dlr_scale {
-        s.dlr_scale = d.max(1);
-    }
-
-    // fig10 and fig11 share their runs.
-    let mut fig10_cache: Option<(Vec<fig10::GnnCell>, Vec<fig10::DlrCell>)> = None;
-    for t in &targets {
-        match t.as_str() {
-            "table1" => {
-                table1::run(&s);
-            }
-            "table3" => {
-                table3::run(&s);
-            }
-            "fig2" => {
-                fig02::run(&s);
-            }
-            "fig4" => {
-                fig04::run(&s);
-            }
-            "fig6" => {
-                fig06::run(&s);
-            }
-            "fig8" => {
-                fig08::run(&s);
-            }
-            "fig9" => {
-                fig09::run(&s);
-            }
-            "fig10" => {
-                let gnn = fig10::run_gnn(&s);
-                let dlr = fig10::run_dlr(&s);
-                fig10_cache = Some((gnn, dlr));
-            }
-            "fig11" => {
-                if fig10_cache.is_none() {
-                    let gnn = fig10::run_gnn(&s);
-                    let dlr = fig10::run_dlr(&s);
-                    fig10_cache = Some((gnn, dlr));
+    match cmd {
+        Command::List => {
+            println!("targets: {} | all", cli::TARGETS.join(" "));
+            println!(
+                "usage: repro [--full] [--jobs N] [--json --out DIR] <target>... (or: repro all)"
+            );
+            println!("       repro diff <dir-a> <dir-b>");
+        }
+        Command::Diff { a, b } => {
+            let diffs = match diff_dirs(&a, &b) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("diff failed: {e}");
+                    std::process::exit(2);
                 }
-                let (gnn, dlr) = fig10_cache.as_ref().unwrap();
-                fig10::print_fig11(gnn, dlr);
-            }
-            "fig12" => {
-                fig12::run(&s);
-            }
-            "fig13" => {
-                fig13::run(&s);
-            }
-            "fig14" | "fig15" => {
-                fig14::run(&s);
-            }
-            "fig16" => {
-                fig16::run(&s);
-            }
-            "fig17" => {
-                fig17::run(&s);
-            }
-            "hotness" => {
-                hotness_sources::run(&s);
-            }
-            other => {
-                eprintln!("unknown target `{other}`; see `repro list`");
-                std::process::exit(2);
+            };
+            if diffs.is_empty() {
+                println!("artifact directories are identical");
+            } else {
+                for d in &diffs {
+                    println!("{d}");
+                }
+                std::process::exit(1);
             }
         }
+        Command::Run(spec) => run(&spec),
+    }
+}
+
+fn run(spec: &RunSpec) {
+    let units = units_for(&spec.targets);
+    let results = run_units(&spec.scenario, &units, spec.jobs);
+    let data_for = |target: &str| -> &TargetData {
+        let unit = Unit::for_target(target).expect("targets validated by the CLI");
+        let idx = units
+            .iter()
+            .position(|u| *u == unit)
+            .expect("unit computed");
+        &results[idx]
+    };
+    for target in &spec.targets {
+        let data = data_for(target);
+        if spec.json {
+            let dir = spec.out.as_ref().expect("--json implies --out");
+            let artifact = Artifact::new(target, &spec.scenario, data.clone());
+            match artifact.write(dir) {
+                Ok(path) => println!("wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("failed to write artifact for {target}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            render(target, &spec.scenario, data);
+        }
+    }
+}
+
+fn render(target: &str, s: &Scenario, data: &TargetData) {
+    match (target, data) {
+        ("table1", TargetData::Table1(v)) => table1::render(v),
+        ("table3", TargetData::Table3(v)) => table3::render(s, v),
+        ("fig2", TargetData::Fig2(v)) => fig02::render(v),
+        ("fig4", TargetData::Fig4(v)) => fig04::render(v),
+        ("fig6", TargetData::Fig6(v)) => fig06::render(v),
+        ("fig8", TargetData::Fig8(v)) => fig08::render(v),
+        ("fig9", TargetData::Fig9(v)) => fig09::render(v),
+        ("fig10", TargetData::Fig10(v)) => fig10::render_fig10(v),
+        ("fig11", TargetData::Fig10(v)) => fig10::render_fig11(v),
+        ("fig12", TargetData::Fig12(v)) => fig12::render(v),
+        ("fig13", TargetData::Fig13(v)) => fig13::render(v),
+        ("fig14", TargetData::Fig14(v)) => fig14::render(v),
+        ("fig16", TargetData::Fig16(v)) => fig16::render(v),
+        ("fig17", TargetData::Fig17(v)) => fig17::render(v),
+        ("hotness", TargetData::Hotness(v)) => hotness_sources::render(v),
+        (t, _) => unreachable!("target `{t}` paired with wrong data variant"),
     }
 }

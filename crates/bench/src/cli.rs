@@ -1,0 +1,178 @@
+//! Argument parsing for the `repro` binary.
+//!
+//! Kept in the library (rather than the binary) so CLI semantics —
+//! alias resolution, order-independent dedup, flag validation — are
+//! unit-testable without spawning processes.
+
+use crate::scenario::Scenario;
+use std::path::PathBuf;
+
+/// Every target the `repro` CLI accepts, in canonical execution order.
+pub const TARGETS: &[&str] = &[
+    "table1", "table3", "fig2", "fig4", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "fig14", "fig15", "fig16", "fig17", "hotness",
+];
+
+/// A validated `repro` run request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Targets in requested order, aliases resolved, duplicates removed.
+    pub targets: Vec<String>,
+    /// Scenario after `--full` / explicit scale overrides.
+    pub scenario: Scenario,
+    /// Emit JSON artifacts instead of pretty-printed tables.
+    pub json: bool,
+    /// Artifact output directory (required with `--json`).
+    pub out: Option<PathBuf>,
+    /// Worker threads for computation (>= 1).
+    pub jobs: usize,
+}
+
+/// A parsed `repro` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print the target menu and usage.
+    List,
+    /// Compare two artifact directories.
+    Diff {
+        /// Left directory.
+        a: PathBuf,
+        /// Right directory.
+        b: PathBuf,
+    },
+    /// Compute (and render or serialize) targets.
+    Run(RunSpec),
+}
+
+fn parse_scale(name: &str, value: &str) -> Result<usize, String> {
+    value
+        .parse::<usize>()
+        .map(|v| v.max(1))
+        .map_err(|_| format!("--{name} expects an unsigned integer, got `{value}`"))
+}
+
+/// Parses `repro` arguments (without the program name).
+///
+/// Unknown `--flags` and unknown targets are hard errors. `fig15` is an
+/// alias for `fig14` (one combined module); duplicate targets are
+/// removed regardless of position, keeping the first occurrence.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the invocation is invalid; the
+/// binary prints it to stderr and exits non-zero.
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    if args.first().map(String::as_str) == Some("diff") {
+        let rest = &args[1..];
+        if let Some(flag) = rest.iter().find(|a| a.starts_with("--")) {
+            return Err(format!("`repro diff` takes no flags, got `{flag}`"));
+        }
+        if rest.len() != 2 {
+            return Err(format!(
+                "`repro diff` expects exactly two artifact directories, got {}",
+                rest.len()
+            ));
+        }
+        return Ok(Command::Diff {
+            a: PathBuf::from(&rest[0]),
+            b: PathBuf::from(&rest[1]),
+        });
+    }
+
+    let mut full = false;
+    let mut json = false;
+    let mut out: Option<PathBuf> = None;
+    let mut jobs: usize = 1;
+    let mut gnn_scale: Option<usize> = None;
+    let mut dlr_scale: Option<usize> = None;
+    let mut targets: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        // A flag's value may come attached (`--out=d`) or as the next
+        // argument (`--out d`).
+        let mut value_of = |name: &str| -> Result<String, String> {
+            if let Some(v) = arg.strip_prefix(&format!("--{name}=")) {
+                return Ok(v.to_string());
+            }
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("--{name} expects a value"))
+        };
+        match arg.as_str() {
+            "--full" => full = true,
+            "--json" => json = true,
+            a if a == "--out" || a.starts_with("--out=") => {
+                out = Some(PathBuf::from(value_of("out")?));
+            }
+            a if a == "--jobs" || a.starts_with("--jobs=") => {
+                let v = value_of("jobs")?;
+                jobs = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--jobs expects an unsigned integer, got `{v}`"))?
+                    .max(1);
+            }
+            a if a == "--gnn-scale" || a.starts_with("--gnn-scale=") => {
+                gnn_scale = Some(parse_scale("gnn-scale", &value_of("gnn-scale")?)?);
+            }
+            a if a == "--dlr-scale" || a.starts_with("--dlr-scale=") => {
+                dlr_scale = Some(parse_scale("dlr-scale", &value_of("dlr-scale")?)?);
+            }
+            a if a.starts_with("--") => {
+                return Err(format!("unknown flag `{a}`; see `repro list`"));
+            }
+            _ => targets.push(arg.clone()),
+        }
+        i += 1;
+    }
+
+    if json && out.is_none() {
+        return Err("--json requires --out <dir>".to_string());
+    }
+    if out.is_some() && !json {
+        return Err("--out requires --json".to_string());
+    }
+
+    if targets.is_empty() || targets.iter().any(|t| t == "list") {
+        return Ok(Command::List);
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = TARGETS.iter().map(|s| s.to_string()).collect();
+    }
+    for t in &targets {
+        if !TARGETS.contains(&t.as_str()) {
+            return Err(format!("unknown target `{t}`; see `repro list`"));
+        }
+    }
+    // fig14 and fig15 are one combined module; run it once.
+    for t in targets.iter_mut() {
+        if t == "fig15" {
+            *t = "fig14".to_string();
+        }
+    }
+    // Order-independent dedup, keeping the first occurrence.
+    let mut seen = std::collections::HashSet::new();
+    targets.retain(|t| seen.insert(t.clone()));
+
+    let mut scenario = if full {
+        Scenario::full()
+    } else {
+        Scenario::quick()
+    };
+    if let Some(g) = gnn_scale {
+        scenario.gnn_scale = g;
+    }
+    if let Some(d) = dlr_scale {
+        scenario.dlr_scale = d;
+    }
+
+    Ok(Command::Run(RunSpec {
+        targets,
+        scenario,
+        json,
+        out,
+        jobs,
+    }))
+}

@@ -1,9 +1,16 @@
 //! One module per table/figure of the paper's evaluation.
 //!
-//! Every module exposes `run(&Scenario)` which prints the paper-style
-//! rows and returns the structured series (so integration tests can
-//! assert the *shape* of each result: who wins, by roughly what factor,
-//! where crossovers fall).
+//! Every module is split into a pure computation layer and a rendering
+//! layer:
+//!
+//! * `compute(&Scenario)` returns the figure's structured,
+//!   serde-serializable result with no printing — this is the canonical
+//!   API for shape tests, JSON artifacts, and the parallel runner;
+//! * `render(..)` prints the paper-style rows from a precomputed result;
+//! * `run(&Scenario)` = `compute` + `render`, kept for interactive use.
+//!
+//! Shape tests assert on the structured results (who wins, by roughly
+//! what factor, where crossovers fall) — never on the rendered text.
 
 pub mod fig02;
 pub mod fig04;

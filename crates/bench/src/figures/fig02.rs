@@ -5,10 +5,11 @@ use crate::scenario::{header, ms, Scenario};
 use cache_policy::baselines;
 use emb_workload::{GnnDatasetId, GnnModel};
 use gpu_platform::Platform;
+use serde::Serialize;
 use ugache::baselines::{build_system, SystemKind};
 
 /// One cache-ratio data point.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Point {
     /// Per-GPU cache ratio in percent of total entries.
     pub ratio_pct: f64,
@@ -50,19 +51,14 @@ fn hit_rates(placement: &cache_policy::Placement, keys_per_gpu: &[Vec<u32>]) -> 
     )
 }
 
-/// Prints Figure 2 and returns the series.
-pub fn run(s: &Scenario) -> Vec<Point> {
-    header("Figure 2: hit rate & extraction time vs cache ratio (SAGE sup., PA, Server C)");
+/// Computes the Figure 2 series (no printing).
+pub fn compute(s: &Scenario) -> Vec<Point> {
     let plat = Platform::server_c();
     let (mut w, hotness) = s.gnn(GnnDatasetId::Pa, GnnModel::GraphSageSupervised, &plat);
     let e = hotness.len();
     let mut probe = w.clone();
     let accesses = probe.measure_accesses_per_iter(2);
 
-    println!(
-        "{:>6} {:>10} {:>11} {:>12} {:>9} {:>9} {:>10}",
-        "ratio", "rep.local", "part.local", "part.global", "rep(ms)", "part(ms)", "ugache(ms)"
-    );
     let mut out = Vec::new();
     for ratio_pct in [2.0, 4.0, 8.0, 12.0, 16.0, 20.0, 25.0] {
         let cap = ((ratio_pct / 100.0) * e as f64) as usize;
@@ -88,7 +84,7 @@ pub fn run(s: &Scenario) -> Vec<Point> {
             .makespan
             .as_secs_f64()
         };
-        let p = Point {
+        out.push(Point {
             ratio_pct,
             rep_local,
             part_local,
@@ -96,7 +92,19 @@ pub fn run(s: &Scenario) -> Vec<Point> {
             rep_ms: t(SystemKind::RepU) * 1e3,
             part_ms: t(SystemKind::PartU) * 1e3,
             ugache_ms: t(SystemKind::UGache) * 1e3,
-        };
+        });
+    }
+    out
+}
+
+/// Prints Figure 2 from precomputed points.
+pub fn render(points: &[Point]) {
+    header("Figure 2: hit rate & extraction time vs cache ratio (SAGE sup., PA, Server C)");
+    println!(
+        "{:>6} {:>10} {:>11} {:>12} {:>9} {:>9} {:>10}",
+        "ratio", "rep.local", "part.local", "part.global", "rep(ms)", "part(ms)", "ugache(ms)"
+    );
+    for p in points {
         println!(
             "{:>5}% {:>9.1}% {:>10.1}% {:>11.1}% {:>9} {:>9} {:>10}",
             p.ratio_pct,
@@ -107,7 +115,12 @@ pub fn run(s: &Scenario) -> Vec<Point> {
             ms(p.part_ms / 1e3),
             ms(p.ugache_ms / 1e3)
         );
-        out.push(p);
     }
-    out
+}
+
+/// Computes and prints Figure 2.
+pub fn run(s: &Scenario) -> Vec<Point> {
+    let points = compute(s);
+    render(&points);
+    points
 }

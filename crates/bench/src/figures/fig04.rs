@@ -5,11 +5,12 @@
 use crate::scenario::{header, ms, Scenario};
 use emb_workload::DlrDatasetId;
 use gpu_platform::Platform;
+use serde::Serialize;
 use ugache::apps::dlr::dlr_cache_capacity;
 use ugache::baselines::{build_system, SystemKind};
 
 /// One (server, dataset) group of bars.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Bars {
     /// Server name.
     pub server: String,
@@ -23,13 +24,8 @@ pub struct Bars {
     pub ugache_ms: f64,
 }
 
-/// Prints Figure 4 and returns the bar groups.
-pub fn run(s: &Scenario) -> Vec<Bars> {
-    header("Figure 4: extraction mechanism comparison (DLR inference)");
-    println!(
-        "{:<16} {:<8} {:>12} {:>10} {:>12}",
-        "server", "dataset", "message(ms)", "peer(ms)", "ugache(ms)"
-    );
+/// Computes the Figure 4 bar groups (no printing).
+pub fn compute(s: &Scenario) -> Vec<Bars> {
     let mut out = Vec::new();
     for plat in [Platform::server_a(), Platform::server_c()] {
         for id in [DlrDatasetId::Cr, DlrDatasetId::SynA] {
@@ -47,23 +43,40 @@ pub fn run(s: &Scenario) -> Vec<Bars> {
                     .as_secs_f64()
                     * 1e3
             };
-            let b = Bars {
+            out.push(Bars {
                 server: plat.name.clone(),
                 dataset: dataset.name.clone(),
                 message_ms: t(SystemKind::Sok),
                 peer_ms: t(SystemKind::PartU),
                 ugache_ms: t(SystemKind::UGache),
-            };
-            println!(
-                "{:<16} {:<8} {:>12} {:>10} {:>12}",
-                b.server,
-                b.dataset,
-                ms(b.message_ms / 1e3),
-                ms(b.peer_ms / 1e3),
-                ms(b.ugache_ms / 1e3)
-            );
-            out.push(b);
+            });
         }
     }
     out
+}
+
+/// Prints Figure 4 from precomputed bars.
+pub fn render(bars: &[Bars]) {
+    header("Figure 4: extraction mechanism comparison (DLR inference)");
+    println!(
+        "{:<16} {:<8} {:>12} {:>10} {:>12}",
+        "server", "dataset", "message(ms)", "peer(ms)", "ugache(ms)"
+    );
+    for b in bars {
+        println!(
+            "{:<16} {:<8} {:>12} {:>10} {:>12}",
+            b.server,
+            b.dataset,
+            ms(b.message_ms / 1e3),
+            ms(b.peer_ms / 1e3),
+            ms(b.ugache_ms / 1e3)
+        );
+    }
+}
+
+/// Computes and prints Figure 4.
+pub fn run(s: &Scenario) -> Vec<Bars> {
+    let bars = compute(s);
+    render(&bars);
+    bars
 }

@@ -5,9 +5,14 @@
 use crate::scenario::{header, Scenario};
 use gpu_memsim::{microbench, CongestionModel};
 use gpu_platform::{Location, Platform};
+use serde::Serialize;
+
+/// Number of Server A series at the head of the result (the remainder
+/// belong to Server C).
+pub const SERVER_A_SERIES: usize = 3;
 
 /// One bandwidth series.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Series {
     /// Label ("CPU", "Local", "Remote", "Remote (contended)").
     pub label: String,
@@ -30,12 +35,12 @@ fn print_series(series: &[Series]) {
     }
 }
 
-/// Prints Figure 6 and returns all series (Server A first, then C).
-pub fn run(_s: &Scenario) -> Vec<Series> {
+/// Computes all Figure 6 series (no printing): Server A first
+/// ([`SERVER_A_SERIES`] entries), then Server C.
+pub fn compute(_s: &Scenario) -> Vec<Series> {
     let model = CongestionModel::default();
     let mut out = Vec::new();
 
-    header("Figure 6a: bandwidth vs cores (Server A, 4×V100, hard-wired)");
     let a = Platform::server_a();
     let cores_a: Vec<usize> = [1, 2, 4, 8, 12, 16, 20, 27, 40, 60, 80].to_vec();
     let mk = |plat: &Platform,
@@ -56,43 +61,42 @@ pub fn run(_s: &Scenario) -> Vec<Series> {
                 .collect(),
         }
     };
-    let sa = vec![
-        mk(&a, "CPU", Location::Host, &[], &cores_a),
-        mk(&a, "Local", Location::Gpu(0), &[], &cores_a),
-        mk(&a, "Remote", Location::Gpu(1), &[], &cores_a),
-    ];
-    print_series(&sa);
-    out.extend(sa);
+    out.push(mk(&a, "CPU", Location::Host, &[], &cores_a));
+    out.push(mk(&a, "Local", Location::Gpu(0), &[], &cores_a));
+    out.push(mk(&a, "Remote", Location::Gpu(1), &[], &cores_a));
 
-    header("Figure 6b: bandwidth vs cores (Server C, 8×A100, NVSwitch)");
     let c = Platform::server_c();
     let cores_c: Vec<usize> = [1, 2, 4, 8, 13, 20, 32, 50, 70, 90, 108].to_vec();
     let contended: Vec<(usize, Location, usize)> = vec![(3, Location::Gpu(4), 60)];
-    let sc = vec![
-        mk(&c, "CPU", Location::Host, &[], &cores_c),
-        mk(&c, "Local", Location::Gpu(0), &[], &cores_c),
-        mk(&c, "Remote", Location::Gpu(4), &[], &cores_c),
-        Series {
-            label: "Remote (G3 collides)".to_string(),
-            points: cores_c
-                .iter()
-                .map(|&n| {
-                    (
-                        n,
-                        microbench::bandwidth_with_cores(
-                            &c,
-                            2,
-                            Location::Gpu(4),
-                            n,
-                            &contended,
-                            model,
-                        ),
-                    )
-                })
-                .collect(),
-        },
-    ];
-    print_series(&sc);
-    out.extend(sc);
+    out.push(mk(&c, "CPU", Location::Host, &[], &cores_c));
+    out.push(mk(&c, "Local", Location::Gpu(0), &[], &cores_c));
+    out.push(mk(&c, "Remote", Location::Gpu(4), &[], &cores_c));
+    out.push(Series {
+        label: "Remote (G3 collides)".to_string(),
+        points: cores_c
+            .iter()
+            .map(|&n| {
+                (
+                    n,
+                    microbench::bandwidth_with_cores(&c, 2, Location::Gpu(4), n, &contended, model),
+                )
+            })
+            .collect(),
+    });
     out
+}
+
+/// Prints Figure 6 from precomputed series.
+pub fn render(series: &[Series]) {
+    header("Figure 6a: bandwidth vs cores (Server A, 4×V100, hard-wired)");
+    print_series(&series[..SERVER_A_SERIES]);
+    header("Figure 6b: bandwidth vs cores (Server C, 8×A100, NVSwitch)");
+    print_series(&series[SERVER_A_SERIES..]);
+}
+
+/// Computes and prints Figure 6.
+pub fn run(s: &Scenario) -> Vec<Series> {
+    let series = compute(s);
+    render(&series);
+    series
 }

@@ -4,9 +4,10 @@ use crate::scenario::{header, Scenario};
 use cache_policy::{build_blocks, BlockConfig};
 use emb_workload::GnnDatasetId;
 use gpu_platform::Platform;
+use serde::Serialize;
 
 /// Per-hotness-level blocking statistics.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct LevelRow {
     /// Log2 hotness level (0 = hottest).
     pub level: u32,
@@ -18,9 +19,22 @@ pub struct LevelRow {
     pub max_block: usize,
 }
 
-/// Prints Figure 9 and returns per-level rows.
-pub fn run(s: &Scenario) -> Vec<LevelRow> {
-    header("Figure 9: hotness-block batching (PA profile, log-scale levels)");
+/// The full Figure 9 result: per-level rows plus the blocking knobs the
+/// printout reports.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Fig09Data {
+    /// Coarse size cap, in entries per block.
+    pub coarse_cap_entries: usize,
+    /// Minimum splits per level (fine cap).
+    pub min_splits: usize,
+    /// Total blocks over all levels.
+    pub total_blocks: usize,
+    /// Per-level statistics, hottest first.
+    pub rows: Vec<LevelRow>,
+}
+
+/// Computes the Figure 9 blocking statistics (no printing).
+pub fn compute(s: &Scenario) -> Fig09Data {
     let plat = Platform::server_c();
     let (_, hotness) = s.gnn(
         GnnDatasetId::Pa,
@@ -50,27 +64,43 @@ pub fn run(s: &Scenario) -> Vec<LevelRow> {
             }),
         }
     }
-    let coarse_cap = ((cfg.coarse_cap * hotness.len() as f64).ceil()) as usize;
+    Fig09Data {
+        coarse_cap_entries: ((cfg.coarse_cap * hotness.len() as f64).ceil()) as usize,
+        min_splits: cfg.min_splits,
+        total_blocks: blocks.len(),
+        rows,
+    }
+}
+
+/// Prints Figure 9 from precomputed data.
+pub fn render(data: &Fig09Data) {
+    header("Figure 9: hotness-block batching (PA profile, log-scale levels)");
     println!(
-        "coarse cap: {coarse_cap} entries/block; fine: ≥{} blocks/level",
-        cfg.min_splits
+        "coarse cap: {} entries/block; fine: ≥{} blocks/level",
+        data.coarse_cap_entries, data.min_splits
     );
     println!(
         "{:>6} {:>10} {:>8} {:>10}",
         "level", "entries", "blocks", "max.block"
     );
-    for r in rows.iter().take(14) {
+    for r in data.rows.iter().take(14) {
         println!(
             "{:>6} {:>10} {:>8} {:>10}",
             r.level, r.entries, r.blocks, r.max_block
         );
     }
-    if rows.len() > 14 {
+    if data.rows.len() > 14 {
         println!(
             "  ... {} more levels, {} blocks total",
-            rows.len() - 14,
-            blocks.len()
+            data.rows.len() - 14,
+            data.total_blocks
         );
     }
-    rows
+}
+
+/// Computes and prints Figure 9, returning the per-level rows.
+pub fn run(s: &Scenario) -> Vec<LevelRow> {
+    let data = compute(s);
+    render(&data);
+    data.rows
 }

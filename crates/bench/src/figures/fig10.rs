@@ -3,17 +3,19 @@
 //!
 //! Figure 10 reports GNN epoch seconds and DLR iteration milliseconds;
 //! Figure 11 isolates the extraction component (adding RepU/PartU to the
-//! DLR comparison, as the paper does).
+//! DLR comparison, as the paper does). Both figures render from the same
+//! [`Data`], so one `compute` pass serves both targets.
 
 use crate::scenario::{header, Scenario};
 use emb_workload::{DlrDatasetId, GnnDatasetId, GnnModel};
+use serde::Serialize;
 use ugache::apps::dlr::run_dlr_iterations;
 use ugache::apps::gnn::run_gnn_epoch;
 use ugache::apps::{DlrModel, GnnAppConfig};
 use ugache::SystemKind;
 
 /// One GNN cell.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct GnnCell {
     /// Server name.
     pub server: String,
@@ -30,7 +32,7 @@ pub struct GnnCell {
 }
 
 /// One DLR cell.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct DlrCell {
     /// Server name.
     pub server: String,
@@ -46,6 +48,15 @@ pub struct DlrCell {
     pub extract_ms: f64,
 }
 
+/// The combined Figure 10/11 result.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Data {
+    /// All GNN cells, in (server, model, dataset, system) order.
+    pub gnn: Vec<GnnCell>,
+    /// All DLR cells, in (server, dataset, model, system) order.
+    pub dlr: Vec<DlrCell>,
+}
+
 const GNN_SYSTEMS: [SystemKind; 3] = [SystemKind::GnnLab, SystemKind::PartU, SystemKind::UGache];
 const DLR_SYSTEMS: [SystemKind; 5] = [
     SystemKind::Hps,
@@ -55,13 +66,8 @@ const DLR_SYSTEMS: [SystemKind; 5] = [
     SystemKind::UGache,
 ];
 
-/// Runs the GNN half of Figure 10.
-pub fn run_gnn(s: &Scenario) -> Vec<GnnCell> {
-    header("Figure 10 (GNN): end-to-end epoch milliseconds (scaled datasets)");
-    println!(
-        "{:<16} {:<12} {:<5} {:>10} {:>10} {:>10}",
-        "server", "model", "data", "GNNLab", "PartU", "UGache"
-    );
+/// Computes the GNN half of Figure 10 (no printing).
+pub fn compute_gnn(s: &Scenario) -> Vec<GnnCell> {
     let mut cells = Vec::new();
     let cfg = GnnAppConfig {
         batch_size: s.gnn_batch,
@@ -72,66 +78,33 @@ pub fn run_gnn(s: &Scenario) -> Vec<GnnCell> {
         for model in GnnModel::ALL {
             for ds in GnnDatasetId::ALL {
                 let (w, hotness) = s.gnn(ds, model, &plat);
-                let mut row: Vec<Option<(f64, f64)>> = Vec::new();
                 for kind in GNN_SYSTEMS {
                     let mut wk = w.clone();
-                    match run_gnn_epoch(kind, &plat, &mut wk, &hotness, &cfg) {
-                        Ok(r) => {
-                            row.push(Some((r.epoch_secs, r.extract_per_iter_secs)));
-                            cells.push(GnnCell {
-                                server: plat.name.clone(),
-                                model: model.name().to_string(),
-                                dataset: ds.name().to_string(),
-                                system: kind.name().to_string(),
-                                epoch_secs: Some(r.epoch_secs),
-                                extract_per_iter_secs: Some(r.extract_per_iter_secs),
-                            });
-                        }
-                        Err(_) => {
-                            row.push(None);
-                            cells.push(GnnCell {
-                                server: plat.name.clone(),
-                                model: model.name().to_string(),
-                                dataset: ds.name().to_string(),
-                                system: kind.name().to_string(),
-                                epoch_secs: None,
-                                extract_per_iter_secs: None,
-                            });
-                        }
-                    }
+                    let timings = run_gnn_epoch(kind, &plat, &mut wk, &hotness, &cfg)
+                        .ok()
+                        .map(|r| (r.epoch_secs, r.extract_per_iter_secs));
+                    cells.push(GnnCell {
+                        server: plat.name.clone(),
+                        model: model.name().to_string(),
+                        dataset: ds.name().to_string(),
+                        system: kind.name().to_string(),
+                        epoch_secs: timings.map(|t| t.0),
+                        extract_per_iter_secs: timings.map(|t| t.1),
+                    });
                 }
-                let cell = |v: &Option<(f64, f64)>| match v {
-                    Some((e, _)) => format!("{:.3}", e * 1e3),
-                    None => "n/a".to_string(),
-                };
-                println!(
-                    "{:<16} {:<12} {:<5} {:>10} {:>10} {:>10}",
-                    plat.name,
-                    model.name(),
-                    ds.name(),
-                    cell(&row[0]),
-                    cell(&row[1]),
-                    cell(&row[2])
-                );
             }
         }
     }
     cells
 }
 
-/// Runs the DLR half of Figure 10 (and the data Figure 11 needs).
-pub fn run_dlr(s: &Scenario) -> Vec<DlrCell> {
-    header("Figure 10 (DLR): end-to-end iteration milliseconds");
-    println!(
-        "{:<16} {:<6} {:<6} {:>9} {:>9} {:>9} {:>9} {:>9}",
-        "server", "model", "data", "HPS", "SOK", "RepU", "PartU", "UGache"
-    );
+/// Computes the DLR half of Figure 10 (no printing).
+pub fn compute_dlr(s: &Scenario) -> Vec<DlrCell> {
     let mut cells = Vec::new();
     for plat in Scenario::servers() {
         for ds in DlrDatasetId::ALL {
             let (w, hotness) = s.dlr(ds, &plat);
             for model in DlrModel::ALL {
-                let mut printed: Vec<String> = Vec::new();
                 for kind in DLR_SYSTEMS {
                     let mut wk = w.clone();
                     let r = run_dlr_iterations(
@@ -144,7 +117,6 @@ pub fn run_dlr(s: &Scenario) -> Vec<DlrCell> {
                         s.iters,
                     )
                     .expect("all DLR systems launch");
-                    printed.push(format!("{:.3}", r.iteration_secs * 1e3));
                     cells.push(DlrCell {
                         server: plat.name.clone(),
                         model: model.name().to_string(),
@@ -154,38 +126,99 @@ pub fn run_dlr(s: &Scenario) -> Vec<DlrCell> {
                         extract_ms: r.extract_secs * 1e3,
                     });
                 }
-                println!(
-                    "{:<16} {:<6} {:<6} {:>9} {:>9} {:>9} {:>9} {:>9}",
-                    plat.name,
-                    model.name(),
-                    ds.name(),
-                    printed[0],
-                    printed[1],
-                    printed[2],
-                    printed[3],
-                    printed[4]
-                );
             }
         }
     }
     cells
 }
 
-/// Prints Figure 11 from the cells produced by [`run_gnn`]/[`run_dlr`].
-pub fn print_fig11(gnn: &[GnnCell], dlr: &[DlrCell]) {
-    header("Figure 11 (GNN): embedding extraction ms per iteration");
+/// Computes both halves of Figures 10/11 (no printing).
+pub fn compute(s: &Scenario) -> Data {
+    Data {
+        gnn: compute_gnn(s),
+        dlr: compute_dlr(s),
+    }
+}
+
+/// Distinct (server, model, dataset) keys in first-seen order.
+fn gnn_keys(cells: &[GnnCell]) -> Vec<(String, String, String)> {
+    let mut keys: Vec<(String, String, String)> = cells
+        .iter()
+        .map(|c| (c.server.clone(), c.model.clone(), c.dataset.clone()))
+        .collect();
+    keys.dedup();
+    keys
+}
+
+/// Prints Figure 10 from precomputed data.
+pub fn render_fig10(data: &Data) {
+    header("Figure 10 (GNN): end-to-end epoch milliseconds (scaled datasets)");
     println!(
         "{:<16} {:<12} {:<5} {:>10} {:>10} {:>10}",
         "server", "model", "data", "GNNLab", "PartU", "UGache"
     );
-    let mut keys: Vec<(String, String, String)> = gnn
+    for (srv, model, ds) in gnn_keys(&data.gnn) {
+        let get = |sys: &str| {
+            data.gnn
+                .iter()
+                .find(|c| c.server == srv && c.model == model && c.dataset == ds && c.system == sys)
+                .and_then(|c| c.epoch_secs)
+                .map_or("n/a".to_string(), |x| format!("{:.3}", x * 1e3))
+        };
+        println!(
+            "{:<16} {:<12} {:<5} {:>10} {:>10} {:>10}",
+            srv,
+            model,
+            ds,
+            get("GNNLab"),
+            get("PartU"),
+            get("UGache")
+        );
+    }
+
+    header("Figure 10 (DLR): end-to-end iteration milliseconds");
+    println!(
+        "{:<16} {:<6} {:<6} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "server", "model", "data", "HPS", "SOK", "RepU", "PartU", "UGache"
+    );
+    let mut keys: Vec<(String, String, String)> = data
+        .dlr
         .iter()
         .map(|c| (c.server.clone(), c.model.clone(), c.dataset.clone()))
         .collect();
     keys.dedup();
     for (srv, model, ds) in keys {
         let get = |sys: &str| {
-            gnn.iter()
+            data.dlr
+                .iter()
+                .find(|c| c.server == srv && c.model == model && c.dataset == ds && c.system == sys)
+                .map_or("n/a".to_string(), |c| format!("{:.3}", c.iter_ms))
+        };
+        println!(
+            "{:<16} {:<6} {:<6} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            srv,
+            model,
+            ds,
+            get("HPS"),
+            get("SOK"),
+            get("RepU"),
+            get("PartU"),
+            get("UGache")
+        );
+    }
+}
+
+/// Prints Figure 11 from the same precomputed data.
+pub fn render_fig11(data: &Data) {
+    header("Figure 11 (GNN): embedding extraction ms per iteration");
+    println!(
+        "{:<16} {:<12} {:<5} {:>10} {:>10} {:>10}",
+        "server", "model", "data", "GNNLab", "PartU", "UGache"
+    );
+    for (srv, model, ds) in gnn_keys(&data.gnn) {
+        let get = |sys: &str| {
+            data.gnn
+                .iter()
                 .find(|c| c.server == srv && c.model == model && c.dataset == ds && c.system == sys)
                 .and_then(|c| c.extract_per_iter_secs)
                 .map_or("n/a".to_string(), |x| format!("{:.3}", x * 1e3))
@@ -206,14 +239,16 @@ pub fn print_fig11(gnn: &[GnnCell], dlr: &[DlrCell]) {
         "{:<16} {:<6} {:>9} {:>9} {:>9} {:>9} {:>9}",
         "server", "data", "HPS", "SOK", "RepU", "PartU", "UGache"
     );
-    let mut dkeys: Vec<(String, String)> = dlr
+    let mut dkeys: Vec<(String, String)> = data
+        .dlr
         .iter()
         .map(|c| (c.server.clone(), c.dataset.clone()))
         .collect();
     dkeys.dedup();
     for (srv, ds) in dkeys {
         let get = |sys: &str| {
-            dlr.iter()
+            data.dlr
+                .iter()
                 .find(|c| c.server == srv && c.dataset == ds && c.system == sys)
                 .map_or("n/a".to_string(), |c| format!("{:.3}", c.extract_ms))
         };
@@ -228,4 +263,11 @@ pub fn print_fig11(gnn: &[GnnCell], dlr: &[DlrCell]) {
             get("UGache")
         );
     }
+}
+
+/// Computes both halves and prints Figure 10.
+pub fn run(s: &Scenario) -> Data {
+    let data = compute(s);
+    render_fig10(&data);
+    data
 }

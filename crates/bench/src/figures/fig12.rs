@@ -8,10 +8,11 @@ use emb_workload::{GnnDatasetId, GnnModel};
 use extractor::{Extractor, Mechanism};
 use gpu_memsim::SimConfig;
 use gpu_platform::{DedicationConfig, Platform};
+use serde::Serialize;
 use ugache::baselines::{build_system, SystemKind};
 
 /// One (dataset, ratio) data point.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Point {
     /// Dataset name.
     pub dataset: String,
@@ -27,13 +28,8 @@ pub struct Point {
     pub ugache_ms: f64,
 }
 
-/// Prints Figure 12 and returns the series.
-pub fn run(s: &Scenario) -> Vec<Point> {
-    header("Figure 12: techniques applied incrementally (SAGE sup., Server C)");
-    println!(
-        "{:<5} {:>6} {:>10} {:>10} {:>11} {:>11}",
-        "data", "ratio", "RepU(ms)", "PartU(ms)", "+Policy(ms)", "UGache(ms)"
-    );
+/// Computes the Figure 12 series (no printing).
+pub fn compute(s: &Scenario) -> Vec<Point> {
     let plat = Platform::server_c();
     let mut out = Vec::new();
     for ds in [GnnDatasetId::Pa, GnnDatasetId::Cf] {
@@ -71,20 +67,37 @@ pub fn run(s: &Scenario) -> Vec<Point> {
                 .as_secs_f64()
                 * 1e3;
 
-            let p = Point {
+            out.push(Point {
                 dataset: ds.name().to_string(),
                 ratio_pct,
                 repu_ms: t(SystemKind::RepU),
                 partu_ms: t(SystemKind::PartU),
                 policy_ms,
                 ugache_ms: t(SystemKind::UGache),
-            };
-            println!(
-                "{:<5} {:>5}% {:>10.3} {:>10.3} {:>11.3} {:>11.3}",
-                p.dataset, p.ratio_pct, p.repu_ms, p.partu_ms, p.policy_ms, p.ugache_ms
-            );
-            out.push(p);
+            });
         }
     }
     out
+}
+
+/// Prints Figure 12 from precomputed points.
+pub fn render(points: &[Point]) {
+    header("Figure 12: techniques applied incrementally (SAGE sup., Server C)");
+    println!(
+        "{:<5} {:>6} {:>10} {:>10} {:>11} {:>11}",
+        "data", "ratio", "RepU(ms)", "PartU(ms)", "+Policy(ms)", "UGache(ms)"
+    );
+    for p in points {
+        println!(
+            "{:<5} {:>5}% {:>10.3} {:>10.3} {:>11.3} {:>11.3}",
+            p.dataset, p.ratio_pct, p.repu_ms, p.partu_ms, p.policy_ms, p.ugache_ms
+        );
+    }
+}
+
+/// Computes and prints Figure 12.
+pub fn run(s: &Scenario) -> Vec<Point> {
+    let points = compute(s);
+    render(&points);
+    points
 }

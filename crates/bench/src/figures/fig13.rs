@@ -10,10 +10,11 @@ use emb_workload::{DlrDatasetId, GnnDatasetId, GnnModel};
 use extractor::{Extractor, Mechanism};
 use gpu_memsim::SimConfig;
 use gpu_platform::{DedicationConfig, Location, Platform};
+use serde::Serialize;
 use ugache::baselines::{build_system, SystemKind};
 
 /// One workload's utilization numbers.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Util {
     /// Workload label ("GCN/CF" etc.).
     pub workload: String,
@@ -76,13 +77,8 @@ fn measure(
     (pcie / n.max(1) as f64, nv / n.max(1) as f64)
 }
 
-/// Prints Figure 13 and returns per-workload utilizations.
-pub fn run(s: &Scenario) -> Vec<Util> {
-    header("Figure 13: link utilization w/ and w/o FEM (Server C, local hits removed)");
-    println!(
-        "{:<12} {:>11} {:>10} {:>13} {:>12}",
-        "workload", "PCIe w/o", "PCIe w/", "NVLink w/o", "NVLink w/"
-    );
+/// Computes the Figure 13 utilizations (no printing).
+pub fn compute(s: &Scenario) -> Vec<Util> {
     let plat = Platform::server_c();
     let mut out = Vec::new();
 
@@ -154,13 +150,25 @@ pub fn run(s: &Scenario) -> Vec<Util> {
                 dedication: DedicationConfig::default(),
             },
         );
-        let u = Util {
+        out.push(Util {
             workload: label,
             pcie_naive: p0,
             pcie_fem: p1,
             nvlink_naive: n0,
             nvlink_fem: n1,
-        };
+        });
+    }
+    out
+}
+
+/// Prints Figure 13 from precomputed utilizations.
+pub fn render(utils: &[Util]) {
+    header("Figure 13: link utilization w/ and w/o FEM (Server C, local hits removed)");
+    println!(
+        "{:<12} {:>11} {:>10} {:>13} {:>12}",
+        "workload", "PCIe w/o", "PCIe w/", "NVLink w/o", "NVLink w/"
+    );
+    for u in utils {
         println!(
             "{:<12} {:>10.1}% {:>9.1}% {:>12.1}% {:>11.1}%",
             u.workload,
@@ -169,7 +177,12 @@ pub fn run(s: &Scenario) -> Vec<Util> {
             u.nvlink_naive * 100.0,
             u.nvlink_fem * 100.0
         );
-        out.push(u);
     }
-    out
+}
+
+/// Computes and prints Figure 13.
+pub fn run(s: &Scenario) -> Vec<Util> {
+    let utils = compute(s);
+    render(&utils);
+    utils
 }

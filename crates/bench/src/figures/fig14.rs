@@ -11,10 +11,11 @@ use emb_workload::{GnnDatasetId, GnnModel};
 use extractor::{Extractor, Mechanism};
 use gpu_memsim::SimConfig;
 use gpu_platform::{DedicationConfig, Location, Platform};
+use serde::Serialize;
 use ugache::baselines::{build_system, SystemKind};
 
 /// One (dataset, ratio, system) measurement.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Split {
     /// Dataset name.
     pub dataset: String,
@@ -48,13 +49,8 @@ fn batch_split(placement: &Placement, keys_per_gpu: &[Vec<u32>]) -> (f64, f64, f
     (local as f64 / t, remote as f64 / t, host as f64 / t)
 }
 
-/// Prints Figures 14/15 and returns all measurements.
-pub fn run(s: &Scenario) -> Vec<Split> {
-    header("Figures 14/15: access split and per-source time vs cache ratio (Server C)");
-    println!(
-        "{:<5} {:>6} {:<7} {:>8} {:>8} {:>8} {:>12}",
-        "data", "ratio", "system", "local", "remote", "host", "extract(ms)"
-    );
+/// Computes the Figures 14/15 measurements (no printing).
+pub fn compute(s: &Scenario) -> Vec<Split> {
     let plat = Platform::server_c();
     let fem = Extractor::new(
         plat.clone(),
@@ -82,7 +78,7 @@ pub fn run(s: &Scenario) -> Vec<Split> {
                     .makespan
                     .as_secs_f64()
                     * 1e3;
-                let sp = Split {
+                out.push(Split {
                     dataset: ds.name().to_string(),
                     ratio_pct,
                     system: kind.name().to_string(),
@@ -90,20 +86,37 @@ pub fn run(s: &Scenario) -> Vec<Split> {
                     remote,
                     host,
                     extract_ms,
-                };
-                println!(
-                    "{:<5} {:>5}% {:<7} {:>7.1}% {:>7.1}% {:>7.1}% {:>12.3}",
-                    sp.dataset,
-                    sp.ratio_pct,
-                    sp.system,
-                    sp.local * 100.0,
-                    sp.remote * 100.0,
-                    sp.host * 100.0,
-                    sp.extract_ms
-                );
-                out.push(sp);
+                });
             }
         }
     }
     out
+}
+
+/// Prints Figures 14/15 from precomputed measurements.
+pub fn render(splits: &[Split]) {
+    header("Figures 14/15: access split and per-source time vs cache ratio (Server C)");
+    println!(
+        "{:<5} {:>6} {:<7} {:>8} {:>8} {:>8} {:>12}",
+        "data", "ratio", "system", "local", "remote", "host", "extract(ms)"
+    );
+    for sp in splits {
+        println!(
+            "{:<5} {:>5}% {:<7} {:>7.1}% {:>7.1}% {:>7.1}% {:>12.3}",
+            sp.dataset,
+            sp.ratio_pct,
+            sp.system,
+            sp.local * 100.0,
+            sp.remote * 100.0,
+            sp.host * 100.0,
+            sp.extract_ms
+        );
+    }
+}
+
+/// Computes and prints Figures 14/15.
+pub fn run(s: &Scenario) -> Vec<Split> {
+    let splits = compute(s);
+    render(&splits);
+    splits
 }

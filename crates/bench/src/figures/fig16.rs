@@ -12,9 +12,10 @@ use emb_workload::{DlrDatasetId, GnnDatasetId, GnnModel};
 use extractor::{Extractor, Mechanism};
 use gpu_memsim::SimConfig;
 use gpu_platform::{DedicationConfig, Platform};
+use serde::Serialize;
 
 /// One comparison row.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Gap {
     /// Workload label.
     pub workload: String,
@@ -74,13 +75,8 @@ fn compare(
     (coarse, fine)
 }
 
-/// Prints Figure 16 and returns the gaps.
-pub fn run(s: &Scenario) -> Vec<Gap> {
-    header("Figure 16: UGache vs theoretically-optimal cache policy");
-    println!(
-        "{:<28} {:>11} {:>12} {:>7}",
-        "workload", "ugache(ms)", "optimal(ms)", "gap"
-    );
+/// Computes the Figure 16 gaps (no printing).
+pub fn compute(s: &Scenario) -> Vec<Gap> {
     let mut out = Vec::new();
 
     // Server A: DLRM with CR / SYN-A / SYN-B.
@@ -93,7 +89,11 @@ pub fn run(s: &Scenario) -> Vec<Gap> {
         let accesses = probe.measure_accesses_per_iter(1);
         let keys = w.next_batch();
         let (u, o) = compare(&plat_a, &hotness, cap, entry_bytes, accesses, &keys);
-        push_row(&mut out, format!("ServerA DLRM {}", ds.name()), u, o);
+        out.push(Gap {
+            workload: format!("ServerA DLRM {}", ds.name()),
+            ugache_ms: u,
+            optimal_ms: o,
+        });
     }
 
     // Server B: reduced synthetic datasets (SYN-As / SYN-Bs).
@@ -108,7 +108,11 @@ pub fn run(s: &Scenario) -> Vec<Gap> {
         let accesses = probe.measure_accesses_per_iter(1);
         let keys = w.next_batch();
         let (u, o) = compare(&plat_b, &hotness, cap, entry_bytes, accesses, &keys);
-        push_row(&mut out, format!("ServerB DLRM {}s", ds.name()), u, o);
+        out.push(Gap {
+            workload: format!("ServerB DLRM {}s", ds.name()),
+            ugache_ms: u,
+            optimal_ms: o,
+        });
     }
 
     // Server C: all three GNN models on PA (representative; add CF/MAG in
@@ -129,32 +133,39 @@ pub fn run(s: &Scenario) -> Vec<Gap> {
             let accesses = probe.measure_accesses_per_iter(1);
             let keys = w.next_batch();
             let (u, o) = compare(&plat_c, &hotness, cap, entry_bytes, accesses, &keys);
-            push_row(
-                &mut out,
-                format!("ServerC {} {}", model.name(), ds.name()),
-                u,
-                o,
-            );
+            out.push(Gap {
+                workload: format!("ServerC {} {}", model.name(), ds.name()),
+                ugache_ms: u,
+                optimal_ms: o,
+            });
         }
     }
-
-    let mean_gap: f64 = out.iter().map(Gap::rel_gap).sum::<f64>() / out.len().max(1) as f64;
-    println!("mean gap: {:.1}%", mean_gap * 100.0);
     out
 }
 
-fn push_row(out: &mut Vec<Gap>, workload: String, ugache_ms: f64, optimal_ms: f64) {
-    let g = Gap {
-        workload,
-        ugache_ms,
-        optimal_ms,
-    };
+/// Prints Figure 16 from precomputed gaps.
+pub fn render(gaps: &[Gap]) {
+    header("Figure 16: UGache vs theoretically-optimal cache policy");
     println!(
-        "{:<28} {:>11.3} {:>12.3} {:>6.1}%",
-        g.workload,
-        g.ugache_ms,
-        g.optimal_ms,
-        g.rel_gap() * 100.0
+        "{:<28} {:>11} {:>12} {:>7}",
+        "workload", "ugache(ms)", "optimal(ms)", "gap"
     );
-    out.push(g);
+    for g in gaps {
+        println!(
+            "{:<28} {:>11.3} {:>12.3} {:>6.1}%",
+            g.workload,
+            g.ugache_ms,
+            g.optimal_ms,
+            g.rel_gap() * 100.0
+        );
+    }
+    let mean_gap: f64 = gaps.iter().map(Gap::rel_gap).sum::<f64>() / gaps.len().max(1) as f64;
+    println!("mean gap: {:.1}%", mean_gap * 100.0);
+}
+
+/// Computes and prints Figure 16.
+pub fn run(s: &Scenario) -> Vec<Gap> {
+    let gaps = compute(s);
+    render(&gaps);
+    gaps
 }

@@ -11,11 +11,12 @@ use emb_cache::HostTable;
 use emb_workload::dlr::DlrHotness;
 use emb_workload::{dlr_preset, DlrDatasetId, DlrWorkload};
 use gpu_platform::Platform;
+use serde::Serialize;
 use ugache::apps::dlr::dlr_cache_capacity;
 use ugache::{UGache, UGacheConfig};
 
 /// One timeline sample.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Sample {
     /// Virtual time (seconds).
     pub t: f64,
@@ -23,6 +24,15 @@ pub struct Sample {
     pub inference_ms: f64,
     /// Whether a refresh was active.
     pub refresh_active: bool,
+}
+
+/// The full Figure 17 result: the timeline plus refresh durations.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Fig17Data {
+    /// Timeline samples in virtual-time order.
+    pub samples: Vec<Sample>,
+    /// Virtual-time seconds each completed refresh took.
+    pub refresh_durations: Vec<f64>,
 }
 
 /// Rotates every key half-way around its table's id space: the hot set
@@ -44,9 +54,8 @@ fn drift_keys(dataset: &emb_workload::DlrDataset, keys_per_gpu: &mut [Vec<u32>])
     }
 }
 
-/// Prints the timeline and returns the samples.
-pub fn run(s: &Scenario) -> Vec<Sample> {
-    header("Figure 17: inference timeline across cache refreshes (DLRM, CR, Server C)");
+/// Computes the Figure 17 timeline (no printing).
+pub fn compute(s: &Scenario) -> Fig17Data {
     let plat = Platform::server_c();
     let dataset = dlr_preset(DlrDatasetId::Cr, s.dlr_scale);
     let entry_bytes = dataset.entry_bytes;
@@ -81,7 +90,6 @@ pub fn run(s: &Scenario) -> Vec<Sample> {
     let window = 2.0f64; // seconds of virtual time per sample
     let mut samples = Vec::new();
     let mut triggered = [false, false];
-    println!("{:>8} {:>14} {:>9}", "t(s)", "inference(ms)", "refresh");
     while u.clock() < 200.0 {
         let now = u.clock();
         // Inject drift shortly before the first trigger point.
@@ -105,23 +113,38 @@ pub fn run(s: &Scenario) -> Vec<Sample> {
             inference_ms: iter_secs * 1e3,
             refresh_active: u.refresh_active(),
         };
-        if samples
-            .last()
-            .map_or(true, |p: &Sample| now - p.t >= window)
-        {
-            println!(
-                "{:>8.1} {:>14.3} {:>9}",
-                sample.t,
-                sample.inference_ms,
-                if sample.refresh_active { "ACTIVE" } else { "-" }
-            );
+        if samples.last().is_none_or(|p: &Sample| now - p.t >= window) {
             samples.push(sample);
         }
         // The measured iteration stands for a window of identical ones.
         u.advance_clock(window - iter_secs.min(window));
     }
-    for (i, d) in u.refresh_history().iter().enumerate() {
+    Fig17Data {
+        samples,
+        refresh_durations: u.refresh_history().to_vec(),
+    }
+}
+
+/// Prints the timeline from precomputed data.
+pub fn render(data: &Fig17Data) {
+    header("Figure 17: inference timeline across cache refreshes (DLRM, CR, Server C)");
+    println!("{:>8} {:>14} {:>9}", "t(s)", "inference(ms)", "refresh");
+    for sample in &data.samples {
+        println!(
+            "{:>8.1} {:>14.3} {:>9}",
+            sample.t,
+            sample.inference_ms,
+            if sample.refresh_active { "ACTIVE" } else { "-" }
+        );
+    }
+    for (i, d) in data.refresh_durations.iter().enumerate() {
         println!("refresh {} took {:.2}s of virtual time", i + 1, d);
     }
-    samples
+}
+
+/// Computes and prints the timeline, returning its samples.
+pub fn run(s: &Scenario) -> Vec<Sample> {
+    let data = compute(s);
+    render(&data);
+    data.samples
 }

@@ -7,10 +7,11 @@ use crate::scenario::{header, Scenario};
 use cache_policy::Hotness;
 use emb_workload::{GnnDatasetId, GnnModel};
 use gpu_platform::Platform;
+use serde::Serialize;
 use ugache::baselines::{build_system, SystemKind};
 
 /// Result for one hotness source.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SourceRow {
     /// Source label.
     pub source: String,
@@ -20,9 +21,8 @@ pub struct SourceRow {
     pub oracle_overlap: f64,
 }
 
-/// Prints the study and returns its rows.
-pub fn run(s: &Scenario) -> Vec<SourceRow> {
-    header("Hotness sources (§6.1): pre-sampling vs degree vs short profile");
+/// Computes the study rows (no printing).
+pub fn compute(s: &Scenario) -> Vec<SourceRow> {
     let plat = Platform::server_c();
     let (w, _) = s.gnn(GnnDatasetId::Pa, GnnModel::GraphSageSupervised, &plat);
     let entry_bytes = w.dataset().entry_bytes;
@@ -51,10 +51,6 @@ pub fn run(s: &Scenario) -> Vec<SourceRow> {
     }
     let keys = eval_w.next_batch();
 
-    println!(
-        "{:<24} {:>12} {:>16}",
-        "source", "extract(ms)", "top-1k overlap"
-    );
     let mut out = Vec::new();
     for (label, hotness) in sources {
         let sys = build_system(
@@ -71,7 +67,6 @@ pub fn run(s: &Scenario) -> Vec<SourceRow> {
         let top: std::collections::HashSet<u32> =
             hotness.ranking().into_iter().take(1000).collect();
         let overlap = top.intersection(&top_oracle).count() as f64 / 1000.0;
-        println!("{label:<24} {extract_ms:>12.3} {:>15.1}%", overlap * 100.0);
         out.push(SourceRow {
             source: label,
             extract_ms,
@@ -79,4 +74,28 @@ pub fn run(s: &Scenario) -> Vec<SourceRow> {
         });
     }
     out
+}
+
+/// Prints the study from precomputed rows.
+pub fn render(rows: &[SourceRow]) {
+    header("Hotness sources (§6.1): pre-sampling vs degree vs short profile");
+    println!(
+        "{:<24} {:>12} {:>16}",
+        "source", "extract(ms)", "top-1k overlap"
+    );
+    for r in rows {
+        println!(
+            "{:<24} {:>12.3} {:>15.1}%",
+            r.source,
+            r.extract_ms,
+            r.oracle_overlap * 100.0
+        );
+    }
+}
+
+/// Computes and prints the study, returning its rows.
+pub fn run(s: &Scenario) -> Vec<SourceRow> {
+    let rows = compute(s);
+    render(&rows);
+    rows
 }

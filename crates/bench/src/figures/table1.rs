@@ -10,10 +10,11 @@ use emb_workload::{gnn_preset, GnnDatasetId, GnnModel, GnnWorkload};
 use extractor::{Extractor, Mechanism};
 use gpu_memsim::SimConfig;
 use gpu_platform::{DedicationConfig, GpuSpec, Platform};
+use serde::Serialize;
 use ugache::apps::MlpCostModel;
 
 /// The breakdown the table reports.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Breakdown {
     /// Dense-layer ms per iteration.
     pub mlp_ms: f64,
@@ -29,9 +30,8 @@ pub struct Breakdown {
     pub gmem_ratio: f64,
 }
 
-/// Prints Table 1 and returns the breakdown.
-pub fn run(s: &Scenario) -> Breakdown {
-    header("Table 1: single-GPU breakdown (unsup. GraphSAGE, MAG, 1×A100-80GB)");
+/// Computes the Table 1 breakdown (no printing).
+pub fn compute(s: &Scenario) -> Breakdown {
     let platform = Platform::single(GpuSpec::a100(80), 1 << 40);
     let dataset = gnn_preset(GnnDatasetId::Mag, s.gnn_scale, SEED);
     let entry_bytes = dataset.entry_bytes;
@@ -88,7 +88,7 @@ pub fn run(s: &Scenario) -> Breakdown {
         GnnModel::GraphSageUnsupervised.mlp_layers(),
     );
 
-    let b = Breakdown {
+    Breakdown {
         mlp_ms: mlp * 1e3,
         emt_ms: emt / n * 1e3,
         emt_cached_ms: emt_cached / n * 1e3,
@@ -99,8 +99,12 @@ pub fn run(s: &Scenario) -> Breakdown {
         } else {
             0.0
         },
-    };
+    }
+}
 
+/// Prints Table 1 from a precomputed breakdown.
+pub fn render(b: &Breakdown) {
+    header("Table 1: single-GPU breakdown (unsup. GraphSAGE, MAG, 1×A100-80GB)");
     println!(
         "{:<26} {:>10} {:>16} {:>16}",
         "", "MLP", "EMT (w/ $)", "Total (w/ $)"
@@ -134,5 +138,11 @@ pub fn run(s: &Scenario) -> Breakdown {
         format!("0% ({})", fmt::pct(b.gmem_ratio)),
         format!("0% ({})", fmt::pct(b.gmem_ratio))
     );
+}
+
+/// Computes and prints Table 1.
+pub fn run(s: &Scenario) -> Breakdown {
+    let b = compute(s);
+    render(&b);
     b
 }

@@ -1,13 +1,20 @@
 //! Benchmark harness for the UGache reproduction.
 //!
 //! The [`figures`] modules regenerate every table and figure of the
-//! paper's evaluation (§8) as printed rows/series; the `repro` binary
-//! dispatches to them (`repro list` shows the menu). Criterion benches
-//! under `benches/` measure the wall-clock cost of the implementation's
-//! own kernels (solver, extraction simulation, gathers) and the ablation
+//! paper's evaluation (§8). Each exposes a pure `compute` API returning
+//! serializable result structs and a separate `render` layer that
+//! pretty-prints them; the `repro` binary dispatches to both
+//! (`repro list` shows the menu) and can emit one stable-schema JSON
+//! artifact per target via [`artifact`]. Criterion benches under
+//! `benches/` measure the wall-clock cost of the implementation's own
+//! kernels (solver, extraction simulation, gathers) and the ablation
 //! sweeps called out in `DESIGN.md`.
 
+pub mod artifact;
+pub mod cli;
 pub mod figures;
+pub mod json;
+pub mod runner;
 pub mod scenario;
 
 pub use scenario::Scenario;

@@ -6,6 +6,7 @@ use emb_workload::{
     dlr_preset, gnn_preset, DlrDatasetId, DlrWorkload, GnnDatasetId, GnnModel, GnnWorkload,
 };
 use gpu_platform::Platform;
+use serde::Serialize;
 
 /// Workspace-wide RNG seed for the harness.
 pub const SEED: u64 = 0x5EED;
@@ -14,7 +15,7 @@ pub const SEED: u64 = 0x5EED;
 ///
 /// `quick()` keeps every figure under a few seconds of wall time on a
 /// laptop core; `full()` uses larger domains for smoother curves.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct Scenario {
     /// Divisor applied to paper-scale GNN vertex counts.
     pub gnn_scale: usize,

@@ -1,0 +1,211 @@
+//! Tests for the `repro` CLI surface and the JSON artifact layer:
+//! argument parsing (aliases, dedup, flag validation), artifact schema
+//! round-trips, and serial-vs-parallel determinism of the runner.
+
+use ugache_bench::artifact::{diff_dirs, Artifact, TargetData, SCHEMA_VERSION};
+use ugache_bench::cli::{self, Command};
+use ugache_bench::runner::{run_units, units_for, Unit};
+use ugache_bench::{json, Scenario};
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+fn run_spec(list: &[&str]) -> cli::RunSpec {
+    match cli::parse(&args(list)).expect("parse succeeds") {
+        Command::Run(spec) => spec,
+        other => panic!("expected Run, got {other:?}"),
+    }
+}
+
+fn tiny() -> Scenario {
+    Scenario {
+        gnn_scale: 16_384,
+        dlr_scale: 65_536,
+        gnn_batch: 128,
+        dlr_batch: 128,
+        iters: 1,
+    }
+}
+
+#[test]
+fn parse_dedups_targets_order_independently() {
+    // Non-adjacent duplicates must collapse too (the old CLI used
+    // `Vec::dedup`, which only removes adjacent ones).
+    let spec = run_spec(&["fig2", "table1", "fig2", "fig9", "table1"]);
+    assert_eq!(spec.targets, ["fig2", "table1", "fig9"]);
+}
+
+#[test]
+fn parse_aliases_fig15_to_fig14_and_dedups_across_the_alias() {
+    let spec = run_spec(&["fig15", "fig2", "fig14"]);
+    assert_eq!(spec.targets, ["fig14", "fig2"]);
+}
+
+#[test]
+fn parse_rejects_unknown_flags() {
+    let err = cli::parse(&args(&["--frobnicate", "fig2"])).unwrap_err();
+    assert!(err.contains("--frobnicate"), "{err}");
+    let err = cli::parse(&args(&["--ful", "fig2"])).unwrap_err();
+    assert!(err.contains("--ful"), "{err}");
+}
+
+#[test]
+fn parse_rejects_unknown_targets() {
+    let err = cli::parse(&args(&["fig3"])).unwrap_err();
+    assert!(err.contains("fig3"), "{err}");
+}
+
+#[test]
+fn parse_scale_flags_clamp_and_validate() {
+    let spec = run_spec(&["--gnn-scale=0", "--dlr-scale", "9", "fig2"]);
+    assert_eq!(spec.scenario.gnn_scale, 1, "scale 0 clamps to 1");
+    assert_eq!(spec.scenario.dlr_scale, 9);
+    // A malformed value is a hard error, not silently ignored (the old
+    // CLI fell back to the default scenario).
+    let err = cli::parse(&args(&["--gnn-scale=banana", "fig2"])).unwrap_err();
+    assert!(err.contains("banana"), "{err}");
+}
+
+#[test]
+fn parse_full_and_jobs() {
+    let spec = run_spec(&["--full", "--jobs=4", "fig2"]);
+    assert_eq!(spec.scenario, Scenario::full());
+    assert_eq!(spec.jobs, 4);
+    let spec = run_spec(&["--jobs", "0", "fig2"]);
+    assert_eq!(spec.jobs, 1, "jobs clamps to at least 1");
+    let err = cli::parse(&args(&["--jobs=two", "fig2"])).unwrap_err();
+    assert!(err.contains("two"), "{err}");
+}
+
+#[test]
+fn parse_json_requires_out_and_vice_versa() {
+    let err = cli::parse(&args(&["--json", "fig2"])).unwrap_err();
+    assert!(err.contains("--out"), "{err}");
+    let err = cli::parse(&args(&["--out=d", "fig2"])).unwrap_err();
+    assert!(err.contains("--json"), "{err}");
+    let spec = run_spec(&["--json", "--out", "d", "fig2"]);
+    assert!(spec.json);
+    assert_eq!(spec.out.as_deref(), Some(std::path::Path::new("d")));
+}
+
+#[test]
+fn parse_all_expands_and_dedups_the_alias_pair() {
+    let spec = run_spec(&["all"]);
+    assert!(spec.targets.contains(&"fig14".to_string()));
+    assert!(!spec.targets.contains(&"fig15".to_string()));
+    assert!(spec.targets.contains(&"fig10".to_string()));
+    assert!(spec.targets.contains(&"fig11".to_string()));
+    assert_eq!(spec.targets.len(), cli::TARGETS.len() - 1);
+}
+
+#[test]
+fn parse_list_and_diff() {
+    assert_eq!(cli::parse(&args(&[])).unwrap(), Command::List);
+    assert_eq!(cli::parse(&args(&["list"])).unwrap(), Command::List);
+    match cli::parse(&args(&["diff", "a", "b"])).unwrap() {
+        Command::Diff { a, b } => {
+            assert_eq!(a, std::path::PathBuf::from("a"));
+            assert_eq!(b, std::path::PathBuf::from("b"));
+        }
+        other => panic!("expected Diff, got {other:?}"),
+    }
+    assert!(cli::parse(&args(&["diff", "a"])).is_err());
+    assert!(cli::parse(&args(&["diff", "a", "b", "c"])).is_err());
+    assert!(cli::parse(&args(&["diff", "--json", "a", "b"])).is_err());
+}
+
+#[test]
+fn units_fold_fig10_and_fig11_into_one_computation() {
+    let targets: Vec<String> = ["fig10", "fig11", "fig2"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let units = units_for(&targets);
+    assert_eq!(units, [Unit::Fig10And11, Unit::Fig2]);
+}
+
+#[test]
+fn artifact_schema_round_trips() {
+    let s = tiny();
+    let data = TargetData::Fig9(ugache_bench::figures::fig09::compute(&s));
+    let artifact = Artifact::new("fig9", &s, data);
+    let text = artifact.to_json();
+    let v = json::parse(&text).expect("artifact parses");
+    // Envelope fields, stable across runs and releases.
+    assert_eq!(
+        v.get("schema_version").unwrap(),
+        &json::Value::Num(SCHEMA_VERSION.to_string())
+    );
+    assert_eq!(
+        v.get("target").unwrap(),
+        &json::Value::Str("fig9".to_string())
+    );
+    assert_eq!(
+        v.get("seed").unwrap(),
+        &json::Value::Num(ugache_bench::scenario::SEED.to_string())
+    );
+    let scenario = v.get("scenario").expect("scenario embedded");
+    assert_eq!(
+        scenario.get("gnn_scale").unwrap(),
+        &json::Value::Num("16384".to_string())
+    );
+    let data = v.get("data").expect("data payload");
+    assert!(data.get("rows").is_some(), "fig9 payload has rows");
+    // The parsed value renders back to the exact same bytes.
+    assert_eq!(format!("{}\n", v.render_pretty()), text);
+}
+
+#[test]
+fn serial_and_parallel_runs_produce_identical_artifacts() {
+    let s = tiny();
+    // Cheap units only — this is a determinism test, not a benchmark.
+    let targets: Vec<String> = ["table1", "fig2", "fig9", "fig14"]
+        .iter()
+        .map(|t| t.to_string())
+        .collect();
+    let units = units_for(&targets);
+    let serial = run_units(&s, &units, 1);
+    let parallel = run_units(&s, &units, 4);
+    assert_eq!(serial.len(), parallel.len());
+    for ((t, a), b) in targets.iter().zip(&serial).zip(&parallel) {
+        let ja = Artifact::new(t, &s, a.clone()).to_json();
+        let jb = Artifact::new(t, &s, b.clone()).to_json();
+        assert_eq!(ja, jb, "{t}: serial and parallel artifacts diverge");
+    }
+}
+
+#[test]
+fn diff_dirs_reports_and_clears() {
+    let s = tiny();
+    let base = std::env::temp_dir().join(format!("repro-diff-test-{}", std::process::id()));
+    let dir_a = base.join("a");
+    let dir_b = base.join("b");
+    let _ = std::fs::remove_dir_all(&base);
+
+    let data = TargetData::Fig9(ugache_bench::figures::fig09::compute(&s));
+    Artifact::new("fig9", &s, data.clone())
+        .write(&dir_a)
+        .unwrap();
+    Artifact::new("fig9", &s, data).write(&dir_b).unwrap();
+    assert!(diff_dirs(&dir_a, &dir_b).unwrap().is_empty());
+
+    // A scenario change shows up as a structural difference.
+    let mut s2 = s;
+    s2.iters = 2;
+    let data2 = TargetData::Fig9(ugache_bench::figures::fig09::compute(&s2));
+    Artifact::new("fig9", &s2, data2).write(&dir_b).unwrap();
+    let diffs = diff_dirs(&dir_a, &dir_b).unwrap();
+    assert!(
+        diffs.iter().any(|d| d.contains("scenario.iters")),
+        "{diffs:?}"
+    );
+
+    // A file present on one side only is reported.
+    let extra = TargetData::Table1(ugache_bench::figures::table1::compute(&s));
+    Artifact::new("table1", &s, extra).write(&dir_a).unwrap();
+    let diffs = diff_dirs(&dir_a, &dir_b).unwrap();
+    assert!(diffs.iter().any(|d| d.contains("table1.json")), "{diffs:?}");
+
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -1,11 +1,10 @@
 //! Per-GPU cache storage.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One GPU's embedding-cache arena: `capacity × dim` f32 slots plus the
 /// entry→slot index. Stands in for a GPU HBM allocation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuArena {
     dim: usize,
     capacity: usize,

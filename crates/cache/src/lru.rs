@@ -8,12 +8,11 @@
 //! This module implements a real LRU so that comparison is measured, not
 //! assumed.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A fixed-capacity LRU set over entry ids with hit/miss/eviction
 /// accounting. Intrusive doubly-linked list over a slab, O(1) per access.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LruCache {
     capacity: usize,
     /// entry id → slab index.

@@ -18,11 +18,10 @@
 
 use crate::cache::MultiGpuCache;
 use cache_policy::Placement;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Refresh tunables.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RefreshConfig {
     /// Simulated seconds the policy re-solve takes (paper: ~10 s).
     pub solve_secs: f64,
@@ -49,7 +48,7 @@ impl Default for RefreshConfig {
 }
 
 /// Where a refresh currently stands.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RefreshPhase {
     /// No refresh in progress.
     Idle,

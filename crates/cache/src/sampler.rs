@@ -6,10 +6,9 @@
 //! arrive in workload order, not sorted order).
 
 use cache_policy::Hotness;
-use serde::{Deserialize, Serialize};
 
 /// Streaming key-frequency sampler.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HotnessSampler {
     counts: Vec<u64>,
     /// Record one of every `stride` keys.

@@ -1,7 +1,5 @@
 //! The host-resident embedding table.
 
-use serde::{Deserialize, Serialize};
-
 /// The full `N × D` embedding table living in host memory.
 ///
 /// Two storage modes:
@@ -13,7 +11,7 @@ use serde::{Deserialize, Serialize};
 ///   materialized on a development box; procedural values preserve the
 ///   property the functional layer needs — every read of the same entry
 ///   returns the same vector — at O(1) memory.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HostTable {
     num_entries: usize,
     dim: usize,

@@ -9,10 +9,9 @@
 
 use crate::matrix::{sigmoid, Matrix};
 use crate::mlp::Mlp;
-use serde::{Deserialize, Serialize};
 
 /// The DLRM inference model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DlrmModel {
     dense_features: usize,
     num_tables: usize,
@@ -100,7 +99,7 @@ impl DlrmModel {
 /// The DCN inference model: embedding + dense concatenation through
 /// `cross_layers` cross layers (`x_{l+1} = x_0 ⊙ (x_l · w) + b + x_l`)
 /// followed by a small MLP head.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DcnModel {
     dense_features: usize,
     num_tables: usize,
@@ -164,7 +163,7 @@ impl DcnModel {
                 let xr: f32 = x.row(r).iter().zip(w).map(|(a, c)| a * c).sum();
                 let base = r * width;
                 for k in 0..width {
-                    x.data[base + k] = x0.data[base + k] * xr + b[k] + x.data[base + k];
+                    x.data[base + k] += x0.data[base + k] * xr + b[k];
                 }
             }
         }

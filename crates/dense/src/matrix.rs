@@ -5,10 +5,9 @@
 
 use emb_util::seed_rng;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A dense `rows × cols` matrix, row-major.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     /// Number of rows.
     pub rows: usize,

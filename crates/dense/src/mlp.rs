@@ -6,11 +6,10 @@
 //! stop at the first layer's inputs.
 
 use crate::matrix::{sigmoid, Matrix};
-use serde::{Deserialize, Serialize};
 
 /// One fully connected layer: `y = relu(x·W + b)` (ReLU skipped on the
 /// output layer).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct Linear {
     w: Matrix,
     b: Vec<f32>,
@@ -23,7 +22,7 @@ struct LayerState {
 }
 
 /// A ReLU MLP ending in a linear layer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Mlp {
     layers: Vec<Linear>,
 }

@@ -9,11 +9,10 @@
 
 use emb_util::SimTime;
 use gpu_platform::{Interconnect, Platform};
-use serde::{Deserialize, Serialize};
 
 /// A pairwise transfer matrix: `bytes[i][j]` flows from GPU `j` to GPU
 /// `i` (diagonal ignored — local data does not cross the fabric).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransferMatrix {
     /// `bytes[dst][src]`.
     pub bytes: Vec<Vec<f64>>,

@@ -4,10 +4,9 @@ use cache_policy::Placement;
 use emb_util::SimTime;
 use gpu_memsim::{simulate, DispatchMode, GpuExtraction, GpuWork, SimConfig, SourceDemand};
 use gpu_platform::{DedicationConfig, Location, Platform};
-use serde::{Deserialize, Serialize};
 
 /// How cross-GPU embedding extraction is carried out.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Mechanism {
     /// Buffer + AllToAll + reorder (message-passing systems).
     MessageBased,
@@ -24,7 +23,7 @@ pub enum Mechanism {
 }
 
 /// Result of one extraction call.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExtractOutcome {
     /// Time until the slowest GPU finished.
     pub makespan: SimTime,

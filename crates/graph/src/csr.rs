@@ -1,12 +1,10 @@
 //! Compressed sparse row adjacency.
 
-use serde::{Deserialize, Serialize};
-
 /// A directed graph in CSR form with `u32` vertex ids.
 ///
 /// Vertex ids double as embedding keys throughout the workspace, so a
 /// graph with `n` vertices implies an embedding table with `n` entries.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Csr {
     /// `offsets[v]..offsets[v+1]` indexes `targets` for vertex `v`.
     offsets: Vec<u64>,

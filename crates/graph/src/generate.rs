@@ -12,10 +12,9 @@
 use crate::csr::Csr;
 use emb_util::{seed_rng, split_seed, ZipfSampler};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the power-law generator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GraphConfig {
     /// Number of vertices (= embedding entries).
     pub num_vertices: usize,

@@ -11,10 +11,9 @@
 use crate::csr::Csr;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Result of sampling one batch.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SampledBatch {
     /// Unique vertices touched (seeds, neighbours, negatives) — the
     /// embedding keys to extract, deduplicated as real systems do.
@@ -33,7 +32,7 @@ impl SampledBatch {
 }
 
 /// Random k-hop neighbourhood sampler with per-hop fanouts.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FanoutSampler {
     /// Neighbours sampled per vertex per hop, outermost hop first
     /// (e.g. `[25, 10]` for 2-hop GraphSAGE).

@@ -7,10 +7,8 @@
 //! by `penalty` (default 0.5, matching the paper's "reduces system
 //! performance by up to 50 %" observation in §3.2).
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters of the congestion model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CongestionModel {
     /// Maximum fractional bandwidth loss under unbounded oversubscription.
     ///

@@ -13,11 +13,10 @@ use crate::trace::{ExtractionTrace, TraceEvent};
 use emb_util::{split_seed, SimTime};
 use gpu_platform::{DedicationConfig, Interconnect, Location, PathSpec, Platform, Profile};
 use rand::seq::SliceRandom;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Engine tunables.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
     /// Bytes per dispatched chunk (the unit of core occupancy).
     pub chunk_bytes: f64,
@@ -48,7 +47,7 @@ impl Default for SimConfig {
 }
 
 /// Bytes a destination GPU must pull from one source.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SourceDemand {
     /// Where the bytes live.
     pub src: Location,
@@ -57,7 +56,7 @@ pub struct SourceDemand {
 }
 
 /// The extraction work of one destination GPU.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuWork {
     /// Destination GPU index.
     pub gpu: usize,
@@ -66,7 +65,7 @@ pub struct GpuWork {
 }
 
 /// How SM cores are assigned to per-source work.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DispatchMode {
     /// Naive peer access: every core pulls the next chunk from one shared,
     /// randomly interleaved queue — the congestion-prone scheme of §3.2.
@@ -87,7 +86,7 @@ pub enum DispatchMode {
 }
 
 /// Per-source outcome on one destination GPU.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinkUse {
     /// Source location.
     pub src: Location,
@@ -123,7 +122,7 @@ impl LinkUse {
 }
 
 /// Extraction outcome for one destination GPU.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuExtraction {
     /// Destination GPU index.
     pub gpu: usize,
@@ -148,7 +147,7 @@ impl GpuExtraction {
 }
 
 /// Outcome of a whole extraction call.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExtractionResult {
     /// Max over GPUs of their extraction time (the batch completes when the
     /// slowest GPU finishes — data-parallel steps synchronize).

@@ -7,10 +7,9 @@
 //! drained cores' tails.
 
 use gpu_platform::Location;
-use serde::{Deserialize, Serialize};
 
 /// One chunk's lifetime on one core.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceEvent {
     /// Destination GPU.
     pub gpu: usize,
@@ -25,7 +24,7 @@ pub struct TraceEvent {
 }
 
 /// A full extraction trace.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExtractionTrace {
     /// All chunk events, in completion order.
     pub events: Vec<TraceEvent>,

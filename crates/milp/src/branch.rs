@@ -217,7 +217,7 @@ pub fn solve_milp(model: &Model, opts: &MilpOptions) -> MilpResult {
         }
     } else if heap.is_empty()
         || global_bound >= best_obj - gap_abs(best_obj, opts.rel_gap)
-        || nodes < opts.max_nodes && heap.peek().map_or(true, |n| n.lp_bound >= best_obj)
+        || nodes < opts.max_nodes && heap.peek().is_none_or(|n| n.lp_bound >= best_obj)
     {
         MilpStatus::Optimal
     } else {

@@ -1,9 +1,7 @@
 //! The modelling API: variables, constraints, objective.
 
-use serde::{Deserialize, Serialize};
-
 /// Handle to a model variable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VarId(pub(crate) usize);
 
 impl VarId {
@@ -14,7 +12,7 @@ impl VarId {
 }
 
 /// Constraint comparison sense.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ConstraintSense {
     /// `expr <= rhs`
     Le,
@@ -25,7 +23,7 @@ pub enum ConstraintSense {
 }
 
 /// A linear expression `Σ coeff · var`.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LinExpr {
     /// `(variable, coefficient)` terms; duplicates are summed on use.
     pub terms: Vec<(VarId, f64)>,
@@ -51,7 +49,7 @@ impl LinExpr {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct VarDef {
     pub name: String,
     pub lb: f64,
@@ -60,7 +58,7 @@ pub(crate) struct VarDef {
     pub integer: bool,
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct ConstraintDef {
     pub expr: LinExpr,
     pub sense: ConstraintSense,
@@ -81,7 +79,7 @@ pub(crate) struct ConstraintDef {
 /// let sol = milp::solve_lp(&m).unwrap();
 /// assert!((sol.objective - (-7.0)).abs() < 1e-6); // x=1, y=3
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Model {
     pub(crate) vars: Vec<VarDef>,
     pub(crate) constraints: Vec<ConstraintDef>,

@@ -209,7 +209,7 @@ impl Tableau {
                 if bland {
                     return Some(j);
                 }
-                if best.map_or(true, |(_, v)| viol > v) {
+                if best.is_none_or(|(_, v)| viol > v) {
                     best = Some((j, viol));
                 }
             }
@@ -554,6 +554,6 @@ mod tests {
             m.add_constraint(e, Le, rng.gen_range(2.0..8.0));
         }
         let sol = solve_lp(&m).unwrap();
-        assert!(m.is_feasible(&sol.x.iter().map(|&x| x).collect::<Vec<_>>(), 1e-6));
+        assert!(m.is_feasible(&sol.x, 1e-6));
     }
 }

@@ -1,7 +1,5 @@
 //! Per-GPU hardware description.
 
-use serde::{Deserialize, Serialize};
-
 /// Static description of one GPU.
 ///
 /// Bandwidth figures are *achievable gather bandwidths*, not datasheet
@@ -9,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// sustainable rate is well below the copy-engine peak. The defaults are
 /// calibrated to the paper's Figure 6 microbenchmark (see each
 /// constructor).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuSpec {
     /// Marketing name, for reports.
     pub name: String,

@@ -1,9 +1,7 @@
 //! Transfer-path descriptions.
 
-use serde::{Deserialize, Serialize};
-
 /// The physical medium a `destination ← source` transfer crosses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PathKind {
     /// Destination reads its own HBM.
     Local,
@@ -20,7 +18,7 @@ pub enum PathKind {
 /// `tolerance` is the paper's key microbenchmark result (Figure 6): the
 /// number of concurrently reading SMs beyond which the path's bandwidth is
 /// exhausted and additional cores only stall.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PathSpec {
     /// Medium of the path.
     pub kind: PathKind,

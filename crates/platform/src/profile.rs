@@ -8,10 +8,9 @@
 //! microbenchmark in Figure 6.
 
 use crate::topology::{Interconnect, Location, Platform};
-use serde::{Deserialize, Serialize};
 
 /// Tunables of the core-dedication strategy (paper §5.3).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DedicationConfig {
     /// Upper bound on the fraction of SMs dedicated to host extraction.
     ///
@@ -33,7 +32,7 @@ impl Default for DedicationConfig {
 ///
 /// Source locations are indexed `0..G` for GPUs and `G` for host (see
 /// [`Profile::host_index`]).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Profile {
     /// Number of GPUs `G`.
     pub num_gpus: usize,

@@ -2,14 +2,13 @@
 
 use crate::gpu::GpuSpec;
 use crate::link::{PathKind, PathSpec};
-use serde::{Deserialize, Serialize};
 
 const GB: f64 = 1e9;
 
 /// A source (or destination) of embedding data.
 ///
 /// Mirrors the paper's `M` = all GPUs plus host DRAM (Table 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Location {
     /// GPU with the given index.
     Gpu(usize),
@@ -27,7 +26,7 @@ impl std::fmt::Display for Location {
 }
 
 /// Cross-GPU interconnect flavour (paper Figure 3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Interconnect {
     /// Statically wired NVLink bundles. `pair_bw[i][j]` is the bandwidth of
     /// the `i ↔ j` bundle in bytes/s; `0.0` means the pair is unconnected
@@ -46,7 +45,7 @@ pub enum Interconnect {
 }
 
 /// A complete multi-GPU machine description.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Platform {
     /// Human-readable name (reports).
     pub name: String,

@@ -220,7 +220,7 @@ pub fn hot_rep_warm_part(
         let p = build(rho_pct as f64 / 100.0);
         let t =
             estimate_extraction_time(&p, hotness, profile, entry_bytes, accesses_per_iter).makespan;
-        if best.as_ref().map_or(true, |(bt, _)| t < *bt) {
+        if best.as_ref().is_none_or(|(bt, _)| t < *bt) {
             best = Some((t, p));
         }
     }

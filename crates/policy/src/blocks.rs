@@ -9,10 +9,9 @@
 //! still place sub-level fractions).
 
 use crate::types::Hotness;
-use serde::{Deserialize, Serialize};
 
 /// Block-building tunables.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BlockConfig {
     /// Maximum block size as a fraction of total entries (paper: 0.5 %).
     pub coarse_cap: f64,
@@ -35,7 +34,7 @@ impl Default for BlockConfig {
 
 /// A group of entries with similar hotness, placed as a unit (possibly
 /// split fractionally by the solver).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Block {
     /// Entry ids, hottest first.
     pub entries: Vec<u32>,
@@ -71,7 +70,7 @@ pub fn build_blocks(hotness: &Hotness, cfg: &BlockConfig) -> Vec<Block> {
         if w <= 0.0 || h_max <= 0.0 {
             ZERO_LEVEL
         } else {
-            (h_max / w).log2().floor().max(0.0).min(60.0) as u32
+            (h_max / w).log2().floor().clamp(0.0, 60.0) as u32
         }
     };
 
@@ -113,7 +112,7 @@ pub fn build_blocks(hotness: &Hotness, cfg: &BlockConfig) -> Vec<Block> {
                 continue;
             }
             let sz = blocks[k].size() + blocks[k + 1].size();
-            if best.map_or(true, |(_, s)| sz < s) {
+            if best.is_none_or(|(_, s)| sz < s) {
                 best = Some((k, sz));
             }
         }

@@ -14,10 +14,9 @@
 
 use crate::types::{Hotness, Placement};
 use gpu_platform::Profile;
-use serde::{Deserialize, Serialize};
 
 /// Per-GPU estimated times.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeEstimate {
     /// `per_source[i][j]`: seconds GPU `i` spends on source `j` at full
     /// link rate (the paper's `t_i^j`), `j` indexed `0..=G` (host last).

@@ -13,10 +13,9 @@ use crate::blocks::Block;
 use crate::types::{Hotness, Placement, SourceIdx};
 use gpu_platform::{Location, Platform, Profile};
 use milp::{ConstraintSense, LinExpr, MilpOptions, MilpStatus, Model};
-use serde::{Deserialize, Serialize};
 
 /// A placement unit: one or more interchangeable entries decided together.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UnitSpec {
     /// The entry ids in the unit.
     pub entries: Vec<u32>,
@@ -72,6 +71,7 @@ pub struct PaperSolution {
 ///
 /// Returns an error when no integer-feasible solution is found within the
 /// node budget or the LP fails numerically.
+#[allow(clippy::too_many_arguments)]
 pub fn solve_paper_milp(
     platform: &Platform,
     profile: &Profile,

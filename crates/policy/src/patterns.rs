@@ -9,10 +9,9 @@
 //! the paper's MILP at block granularity (see crate docs).
 
 use gpu_platform::{Interconnect, Location, Platform};
-use serde::{Deserialize, Serialize};
 
 /// What a pattern does with its entries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PatternKind {
     /// Not cached; every GPU reads from host.
     Host,
@@ -30,7 +29,7 @@ pub enum PatternKind {
 }
 
 /// A placement pattern with its precomputed aggregate effects.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pattern {
     /// The structural rule.
     pub kind: PatternKind,

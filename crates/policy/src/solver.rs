@@ -16,10 +16,9 @@ use crate::patterns::{generate_patterns, Pattern};
 use crate::types::{Hotness, Placement};
 use gpu_platform::{DedicationConfig, Location, Platform, Profile};
 use milp::{ConstraintSense, LinExpr, Model};
-use serde::{Deserialize, Serialize};
 
 /// Solver tunables.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolverConfig {
     /// Hotness-block batching parameters (§6.3).
     pub blocks: BlockConfig,
@@ -518,8 +517,8 @@ mod tests {
         let s = solver(plat);
         let h = hotness(40_000, 1.05);
         let cfg = small_cfg();
-        let low = s.solve(&h, &vec![200; 8], &cfg).unwrap();
-        let high = s.solve(&h, &vec![5000; 8], &cfg).unwrap();
+        let low = s.solve(&h, &[200; 8], &cfg).unwrap();
+        let high = s.solve(&h, &[5000; 8], &cfg).unwrap();
         // Paper Figure 14: at low ratios UGache ≈ partition (low local
         // hit rate), at high ratios it grows replicas (high local rate).
         assert!(

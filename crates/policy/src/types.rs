@@ -1,7 +1,6 @@
 //! Core data types shared by all policies.
 
 use gpu_platform::Location;
-use serde::{Deserialize, Serialize};
 
 /// Compact source index: `0..G` are GPUs, `G` is host.
 pub type SourceIdx = u8;
@@ -11,7 +10,7 @@ pub type SourceIdx = u8;
 /// Weights are relative; [`Hotness::normalized`] returns each entry's
 /// share of total accesses. Applications may supply measured frequencies
 /// (pre-sampling epoch counts, vertex degrees, Zipf masses) directly.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Hotness {
     /// Non-negative weight per entry.
     pub weights: Vec<f64>,
@@ -126,7 +125,7 @@ impl Hotness {
 /// `access[i][e] = j (GPU) ⇒ stored[j][e]` corresponds to the paper's
 /// `s_j^e ≥ a_{i←j}^e` constraint and is checked by
 /// [`Placement::validate`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Placement {
     /// Number of GPUs `G`.
     pub num_gpus: usize,

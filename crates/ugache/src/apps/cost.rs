@@ -9,10 +9,9 @@
 //! A100).
 
 use gpu_platform::GpuSpec;
-use serde::{Deserialize, Serialize};
 
 /// DLR model presets (§8.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DlrModel {
     /// DLRM: six MLP layers + one embedding layer.
     Dlrm,
@@ -43,7 +42,7 @@ impl DlrModel {
 }
 
 /// Dense-layer cost model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MlpCostModel {
     /// Hidden width of the GNN dense layers.
     pub hidden_dim: usize,
@@ -83,7 +82,7 @@ impl MlpCostModel {
 }
 
 /// GNN neighbourhood-sampling cost model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SamplingCostModel {
     /// Edge samples per second one GPU sustains.
     pub edges_per_sec: f64,

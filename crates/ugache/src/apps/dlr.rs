@@ -5,10 +5,9 @@ use crate::baselines::{build_system, SystemKind};
 use cache_policy::Hotness;
 use emb_workload::{DlrDataset, DlrWorkload};
 use gpu_platform::Platform;
-use serde::{Deserialize, Serialize};
 
 /// End-to-end numbers for DLR inference.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DlrIterationReport {
     /// System under test.
     pub system: String,

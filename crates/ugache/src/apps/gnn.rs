@@ -5,10 +5,9 @@ use crate::baselines::{build_system, SystemKind};
 use cache_policy::Hotness;
 use emb_workload::{GnnDataset, GnnWorkload};
 use gpu_platform::Platform;
-use serde::{Deserialize, Serialize};
 
 /// App-level configuration for GNN epoch runs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GnnAppConfig {
     /// Seeds per GPU per iteration (paper default 8K at full scale).
     pub batch_size: usize,
@@ -36,7 +35,7 @@ impl Default for GnnAppConfig {
 }
 
 /// End-to-end breakdown of one training epoch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EpochReport {
     /// System under test.
     pub system: String,

@@ -18,7 +18,6 @@ use cache_policy::{baselines as policies, Hotness, Placement, SolverConfig, UGac
 use extractor::{ExtractOutcome, Extractor, Mechanism};
 use gpu_memsim::SimConfig;
 use gpu_platform::{DedicationConfig, Platform};
-use serde::{Deserialize, Serialize};
 
 /// Fractional extraction-time overhead of HPS's LRU bookkeeping (online
 /// eviction on every lookup; the paper credits UGache's static design
@@ -26,7 +25,7 @@ use serde::{Deserialize, Serialize};
 const HPS_LRU_OVERHEAD: f64 = 0.20;
 
 /// The systems compared in the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SystemKind {
     /// This paper's system.
     UGache,

@@ -14,10 +14,9 @@
 
 use crate::system::UGache;
 use emb_cache::GatherStats;
-use serde::{Deserialize, Serialize};
 
 /// A minimal dense 2-D tensor (`rows × cols`, row-major f32).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     /// Rows (one per looked-up key).
     pub rows: usize,

@@ -5,10 +5,9 @@ use emb_cache::{HostTable, HotnessSampler, MultiGpuCache, RefreshConfig, Refresh
 use extractor::{ExtractOutcome, Extractor, Mechanism};
 use gpu_memsim::SimConfig;
 use gpu_platform::{DedicationConfig, Platform};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a UGache instance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UGacheConfig {
     /// Core-dedication tunables (§5.3).
     pub dedication: DedicationConfig,

@@ -1,7 +1,5 @@
 //! Lightweight statistics used by the benchmark harness.
 
-use serde::{Deserialize, Serialize};
-
 /// Streaming mean / variance / extrema (Welford's algorithm).
 ///
 /// # Examples
@@ -14,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.mean(), 2.0);
 /// assert_eq!(s.count(), 3);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
@@ -85,7 +83,7 @@ impl OnlineStats {
 }
 
 /// A fixed-bucket histogram over `[lo, hi)` with overflow/underflow buckets.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     lo: f64,
     hi: f64,

@@ -4,15 +4,12 @@
 //! nanosecond representation keeps arithmetic exact and `Ord`-comparable
 //! (floating point time drifts and breaks event-queue ordering).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
 /// A point in (or span of) simulated time, in nanoseconds.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -45,7 +42,7 @@ impl SimTime {
     ///
     /// Negative or NaN inputs map to zero.
     pub fn from_secs_f64(s: f64) -> Self {
-        if !(s > 0.0) {
+        if s.is_nan() || s <= 0.0 {
             return SimTime::ZERO;
         }
         let ns = s * 1e9;

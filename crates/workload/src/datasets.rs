@@ -9,10 +9,9 @@
 use emb_graph::{generate, Csr, GraphConfig};
 use emb_util::{seed_rng, split_seed};
 use rand::seq::SliceRandom;
-use serde::{Deserialize, Serialize};
 
 /// GNN dataset identifiers (Table 3, top).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GnnDatasetId {
     /// OGB-Papers100M: 111 M vertices, 3.2 B edges, dim 128 (f32).
     Pa,
@@ -37,7 +36,7 @@ impl GnnDatasetId {
 }
 
 /// A scaled GNN dataset: graph, embedding geometry, training seeds.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GnnDataset {
     /// Paper name (PA/CF/MAG).
     pub name: String,
@@ -85,7 +84,7 @@ pub fn gnn_preset(id: GnnDatasetId, scale_div: usize, seed: u64) -> GnnDataset {
         GnnDatasetId::Mag => (232_000_000, 3_200_000_000, 768, 2, 1.10),
     };
     let n = (vertices / scale_div as u64).max(1) as usize;
-    let avg_degree = ((edges + vertices - 1) / vertices).max(1) as usize;
+    let avg_degree = edges.div_ceil(vertices).max(1) as usize;
     let graph = generate(&GraphConfig {
         num_vertices: n,
         avg_degree,
@@ -110,7 +109,7 @@ pub fn gnn_preset(id: GnnDatasetId, scale_div: usize, seed: u64) -> GnnDataset {
 }
 
 /// DLR dataset identifiers (Table 3, bottom).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DlrDatasetId {
     /// Criteo-TB: 26 heterogeneous tables, 882 M entries total, dim 128.
     Cr,
@@ -135,7 +134,7 @@ impl DlrDatasetId {
 }
 
 /// A scaled DLR dataset: table geometry and key-skew parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DlrDataset {
     /// Paper name.
     pub name: String,

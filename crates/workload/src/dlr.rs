@@ -4,7 +4,6 @@ use crate::datasets::DlrDataset;
 use cache_policy::Hotness;
 use emb_util::{seed_rng, split_seed, ZipfSampler};
 use rand::rngs::StdRng;
-use serde::{Deserialize, Serialize};
 
 /// A data-parallel DLR inference workload: each request carries one key
 /// per embedding table (paper §8.1, Criteo layout); a batch of `B`
@@ -20,7 +19,7 @@ pub struct DlrWorkload {
 }
 
 /// Ground-truth hotness mode for DLR datasets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DlrHotness {
     /// Exact Zipf masses (what an oracle profiler would converge to).
     Analytic,

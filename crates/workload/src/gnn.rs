@@ -7,10 +7,9 @@ use emb_util::{seed_rng, split_seed};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// GNN model presets evaluated in the paper (§8.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GnnModel {
     /// 3-hop GCN.
     Gcn,

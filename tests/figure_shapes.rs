@@ -1,6 +1,9 @@
 //! Shape tests for the figure harness: every regenerated table/figure
 //! must exhibit the qualitative result the paper reports — who wins, by
 //! roughly what factor, where crossovers fall.
+//!
+//! These consume the figure modules' pure `compute` API (structured
+//! result types), never rendered stdout.
 
 use ugache_bench::figures::*;
 use ugache_bench::Scenario;
@@ -17,7 +20,7 @@ fn tiny() -> Scenario {
 
 #[test]
 fn table1_embedding_layer_dominates_without_cache() {
-    let b = table1::run(&tiny());
+    let b = table1::compute(&tiny());
     // Paper Table 1: EMT >> MLP without a cache; the cache removes most
     // of the EMT time.
     assert!(
@@ -38,7 +41,7 @@ fn table1_embedding_layer_dominates_without_cache() {
 
 #[test]
 fn table3_has_all_six_datasets() {
-    let rows = table3::run(&tiny());
+    let rows = table3::compute(&tiny());
     assert_eq!(rows.len(), 6);
     let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
     for expect in ["PA", "CF", "MAG", "CR", "SYN-A", "SYN-B"] {
@@ -48,7 +51,7 @@ fn table3_has_all_six_datasets() {
 
 #[test]
 fn fig2_shapes() {
-    let pts = fig02::run(&tiny());
+    let pts = fig02::compute(&tiny());
     // Partition local hit rate pins near 1/G; global saturates early.
     let last = pts.last().unwrap();
     assert!(
@@ -75,7 +78,7 @@ fn fig2_shapes() {
 
 #[test]
 fn fig4_mechanism_ordering() {
-    let bars = fig04::run(&tiny());
+    let bars = fig04::compute(&tiny());
     // Tiny-scale batches are launch-overhead dominated (~15 µs), so the
     // ordering check gets overhead-sized slack; the paper-scale ordering
     // is exercised by `repro fig4` at the quick/full scenarios.
@@ -101,7 +104,7 @@ fn fig4_mechanism_ordering() {
 
 #[test]
 fn fig6_tolerances() {
-    let series = fig06::run(&tiny());
+    let series = fig06::compute(&tiny());
     let find = |label: &str, from: usize| {
         series[from..]
             .iter()
@@ -136,7 +139,7 @@ fn fig6_tolerances() {
 
 #[test]
 fn fig8_dedication_covers_every_reachable_source() {
-    let ds = fig08::run(&tiny());
+    let ds = fig08::compute(&tiny());
     for d in &ds {
         assert!(d.groups.iter().any(|(l, _, _)| l == "Host"));
         for (_, cores, _) in &d.groups {
@@ -153,7 +156,7 @@ fn fig8_dedication_covers_every_reachable_source() {
 
 #[test]
 fn fig9_caps_hold() {
-    let rows = fig09::run(&tiny());
+    let rows = fig09::compute(&tiny()).rows;
     assert!(!rows.is_empty());
     let total: usize = rows.iter().map(|r| r.entries).sum();
     // Blocks partition all entries (16384-scaled PA ≈ 6.7K vertices).
@@ -168,7 +171,7 @@ fn fig9_caps_hold() {
 
 #[test]
 fn fig16_gap_is_small() {
-    let gaps = fig16::run(&tiny());
+    let gaps = fig16::compute(&tiny());
     assert!(!gaps.is_empty());
     let mean: f64 = gaps.iter().map(|g| g.rel_gap()).sum::<f64>() / gaps.len() as f64;
     // Paper: <2% average.
@@ -177,7 +180,7 @@ fn fig16_gap_is_small() {
 
 #[test]
 fn fig17_refresh_bounded_impact_and_recovery() {
-    let samples = fig17::run(&tiny());
+    let samples = fig17::compute(&tiny()).samples;
     assert!(samples.len() > 20);
     let active: Vec<&_> = samples.iter().filter(|s| s.refresh_active).collect();
     assert!(!active.is_empty(), "a refresh must appear on the timeline");
@@ -218,7 +221,7 @@ fn fig17_refresh_bounded_impact_and_recovery() {
 
 #[test]
 fn fig13_fem_never_hurts_utilization() {
-    let utils = fig13::run(&tiny());
+    let utils = fig13::compute(&tiny());
     for u in &utils {
         assert!(
             u.pcie_fem >= u.pcie_naive * 0.95,
@@ -235,7 +238,7 @@ fn fig13_fem_never_hurts_utilization() {
 
 #[test]
 fn fig14_split_shapes() {
-    let splits = fig14::run(&tiny());
+    let splits = fig14::compute(&tiny());
     // RepU never reads remote; PartU local share stays ≈ 1/G.
     for s in &splits {
         match s.system.as_str() {
