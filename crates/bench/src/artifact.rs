@@ -5,20 +5,25 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "target": "fig12",
 //!   "seed": 24301,
 //!   "scenario": { ... },
-//!   "data": <target-specific payload>
+//!   "data": <target-specific payload>,
+//!   "metrics": { "counters": { ... }, "gauges": { ... }, "histograms": { ... } }
 //! }
 //! ```
 //!
 //! The payload is the figure module's `compute` result, serialized
-//! untagged (the `target` field already identifies its shape). Artifacts
-//! are rendered with [`crate::json::to_string_pretty`], which is
-//! deterministic: two runs of the same target at the same scenario
-//! produce byte-identical files. [`diff_dirs`] compares two artifact
-//! directories structurally, for `repro diff`.
+//! untagged (the `target` field already identifies its shape). The
+//! `metrics` block is the [`emb_telemetry::MetricsSnapshot`] collected
+//! while computing the payload (see EXPERIMENTS.md for the field-level
+//! schema). Artifacts are rendered with
+//! [`crate::json::to_string_pretty`], which is deterministic: two runs
+//! of the same target at the same scenario produce byte-identical
+//! files. [`diff_dirs`] compares two artifact directories structurally,
+//! for `repro diff`; [`check_dir_schema`] refuses to mix schema
+//! versions within one output directory.
 
 use crate::figures::*;
 use crate::json;
@@ -28,7 +33,10 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Version of the artifact envelope; bump on any breaking schema change.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// History: v1 had no `metrics` block; v2 added `metrics` (telemetry
+/// snapshot per target) and the `repro --trace` event stream.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// The computed result of one repro unit, ready for rendering or
 /// serialization.
@@ -101,17 +109,26 @@ pub struct Artifact {
     pub scenario: Scenario,
     /// Target-specific payload (untagged).
     pub data: TargetData,
+    /// Telemetry collected while computing `data`; `None` serializes as
+    /// `null` (a compute run without a telemetry scope).
+    pub metrics: Option<emb_telemetry::MetricsSnapshot>,
 }
 
 impl Artifact {
     /// Wraps a computed result in the envelope.
-    pub fn new(target: &str, scenario: &Scenario, data: TargetData) -> Self {
+    pub fn new(
+        target: &str,
+        scenario: &Scenario,
+        data: TargetData,
+        metrics: Option<emb_telemetry::MetricsSnapshot>,
+    ) -> Self {
         Artifact {
             schema_version: SCHEMA_VERSION,
             target: target.to_string(),
             seed: SEED,
             scenario: *scenario,
             data,
+            metrics,
         }
     }
 
@@ -141,6 +158,107 @@ impl Artifact {
         std::fs::write(&path, self.to_json())?;
         Ok(path)
     }
+}
+
+/// Checks that `dir` holds no artifact written under a different
+/// [`SCHEMA_VERSION`] before `repro --json --out` writes into it.
+///
+/// A missing or empty directory passes; so do `.json` files that are not
+/// artifact envelopes (no `schema_version` field). The check prevents a
+/// directory from silently mixing envelope generations, which would make
+/// `repro diff` results meaningless.
+///
+/// # Errors
+///
+/// Returns `Err` with a human-readable message (pointing at
+/// EXPERIMENTS.md) naming the first mismatching file, or any I/O error
+/// from reading the directory, formatted into the message.
+pub fn check_dir_schema(dir: &Path) -> Result<(), String> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let stems = artifact_stems(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    for stem in stems {
+        let path = dir.join(format!("{stem}.json"));
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+        };
+        let Ok(value) = json::parse(&text) else {
+            continue; // not an artifact; leave it alone
+        };
+        let Some(json::Value::Num(raw)) = value.get("schema_version") else {
+            continue;
+        };
+        if raw.parse::<u64>() != Ok(SCHEMA_VERSION) {
+            return Err(format!(
+                "{} was written with artifact schema_version {raw}, but this \
+                 binary writes schema_version {SCHEMA_VERSION}; refusing to mix \
+                 schema versions in one directory. Use a fresh --out directory, \
+                 or delete the stale artifacts. See EXPERIMENTS.md \
+                 (\"Artifact schema\") for the version history.",
+                path.display()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Converts a telemetry event value to a JSON value using the same
+/// number formatting as the artifact serializer (non-finite floats
+/// become `null`).
+fn event_value_to_json(v: &emb_telemetry::EventValue) -> json::Value {
+    use emb_telemetry::EventValue;
+    match v {
+        EventValue::U64(n) => json::Value::Num(n.to_string()),
+        EventValue::F64(x) => {
+            if x.is_finite() {
+                json::Value::Num(format!("{x}"))
+            } else {
+                json::Value::Null
+            }
+        }
+        EventValue::Str(s) => json::Value::Str(s.clone()),
+    }
+}
+
+/// Builds the header line of a `repro --trace` JSONL stream.
+///
+/// # Panics
+///
+/// Panics if the scenario fails to serialize (a bug: it contains only
+/// plain numeric fields).
+pub fn trace_header(scenario: &Scenario) -> json::Value {
+    let rendered = json::to_string_pretty(scenario).expect("scenario serializes");
+    let scenario_value = json::parse(&rendered).expect("serializer output parses");
+    json::Value::Obj(vec![
+        (
+            "schema_version".to_string(),
+            json::Value::Num(SCHEMA_VERSION.to_string()),
+        ),
+        (
+            "kind".to_string(),
+            json::Value::Str("ugache-repro-trace".to_string()),
+        ),
+        ("seed".to_string(), json::Value::Num(SEED.to_string())),
+        ("scenario".to_string(), scenario_value),
+    ])
+}
+
+/// Builds one `repro --trace` JSONL line for an event recorded while
+/// computing `target`.
+pub fn trace_line(target: &str, event: &emb_telemetry::Event) -> json::Value {
+    let fields = event
+        .fields
+        .iter()
+        .map(|(k, v)| (k.clone(), event_value_to_json(v)))
+        .collect();
+    json::Value::Obj(vec![
+        ("target".to_string(), json::Value::Str(target.to_string())),
+        ("seq".to_string(), json::Value::Num(event.seq.to_string())),
+        ("event".to_string(), json::Value::Str(event.name.clone())),
+        ("fields".to_string(), json::Value::Obj(fields)),
+    ])
 }
 
 /// Lists the `.json` artifact file stems in `dir`, sorted.

@@ -2,8 +2,8 @@
 //!
 //! Usage:
 //! ```text
-//! repro [--full] [--jobs N] <target>...
-//! repro [--full] [--jobs N] --json --out DIR <target>...
+//! repro [--full] [--jobs N] [--trace OUT.jsonl] <target>...
+//! repro [--full] [--jobs N] [--trace OUT.jsonl] --json --out DIR <target>...
 //! repro diff <dir-a> <dir-b>
 //! repro list
 //! repro all
@@ -15,13 +15,18 @@
 //! override the dataset scale divisors explicitly. `--jobs N` computes
 //! targets on N worker threads; output order and artifact bytes are
 //! identical to a serial run. `--json --out DIR` writes one
-//! stable-schema JSON artifact per target instead of pretty-printing;
-//! `repro diff` structurally compares two artifact directories.
+//! stable-schema JSON artifact per target instead of pretty-printing
+//! (each carries a telemetry `metrics` block); `--trace OUT.jsonl`
+//! additionally writes the ordered telemetry event stream, one JSON
+//! object per line (see EXPERIMENTS.md for the schema). `repro diff`
+//! structurally compares two artifact directories.
 
-use ugache_bench::artifact::{diff_dirs, Artifact, TargetData};
+use ugache_bench::artifact::{
+    check_dir_schema, diff_dirs, trace_header, trace_line, Artifact, TargetData,
+};
 use ugache_bench::cli::{self, Command, RunSpec};
 use ugache_bench::figures::*;
-use ugache_bench::runner::{run_units, units_for, Unit};
+use ugache_bench::runner::{run_units, units_for, Unit, UnitResult};
 use ugache_bench::Scenario;
 
 fn main() {
@@ -37,7 +42,8 @@ fn main() {
         Command::List => {
             println!("targets: {} | all", cli::TARGETS.join(" "));
             println!(
-                "usage: repro [--full] [--jobs N] [--json --out DIR] <target>... (or: repro all)"
+                "usage: repro [--full] [--jobs N] [--trace OUT.jsonl] [--json --out DIR] \
+                 <target>... (or: repro all)"
             );
             println!("       repro diff <dir-a> <dir-b>");
         }
@@ -63,9 +69,15 @@ fn main() {
 }
 
 fn run(spec: &RunSpec) {
+    if let Some(dir) = spec.out.as_deref() {
+        if let Err(msg) = check_dir_schema(dir) {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
     let units = units_for(&spec.targets);
     let results = run_units(&spec.scenario, &units, spec.jobs);
-    let data_for = |target: &str| -> &TargetData {
+    let result_for = |target: &str| -> &UnitResult {
         let unit = Unit::for_target(target).expect("targets validated by the CLI");
         let idx = units
             .iter()
@@ -74,10 +86,15 @@ fn run(spec: &RunSpec) {
         &results[idx]
     };
     for target in &spec.targets {
-        let data = data_for(target);
+        let result = result_for(target);
         if spec.json {
             let dir = spec.out.as_ref().expect("--json implies --out");
-            let artifact = Artifact::new(target, &spec.scenario, data.clone());
+            let artifact = Artifact::new(
+                target,
+                &spec.scenario,
+                result.data.clone(),
+                Some(result.telemetry.metrics.clone()),
+            );
             match artifact.write(dir) {
                 Ok(path) => println!("wrote {}", path.display()),
                 Err(e) => {
@@ -86,9 +103,46 @@ fn run(spec: &RunSpec) {
                 }
             }
         } else {
-            render(target, &spec.scenario, data);
+            render(target, &spec.scenario, &result.data);
         }
     }
+    if let Some(path) = spec.trace.as_deref() {
+        let per_target: Vec<(&str, &UnitResult)> = spec
+            .targets
+            .iter()
+            .map(|t| (t.as_str(), result_for(t)))
+            .collect();
+        match write_trace(path, &spec.scenario, &per_target) {
+            Ok(lines) => println!("wrote {} ({lines} trace lines)", path.display()),
+            Err(e) => {
+                eprintln!("failed to write trace {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// Writes the JSONL telemetry trace: a header line describing the run,
+/// then each target's events in requested-target order. Returns the
+/// number of event lines written.
+fn write_trace(
+    path: &std::path::Path,
+    scenario: &Scenario,
+    per_target: &[(&str, &UnitResult)],
+) -> std::io::Result<usize> {
+    let mut out = String::new();
+    out.push_str(&trace_header(scenario).render_compact());
+    out.push('\n');
+    let mut lines = 0;
+    for (target, result) in per_target {
+        for event in &result.telemetry.events {
+            out.push_str(&trace_line(target, event).render_compact());
+            out.push('\n');
+            lines += 1;
+        }
+    }
+    std::fs::write(path, out)?;
+    Ok(lines)
 }
 
 fn render(target: &str, s: &Scenario, data: &TargetData) {

@@ -26,6 +26,8 @@ pub struct RunSpec {
     pub out: Option<PathBuf>,
     /// Worker threads for computation (>= 1).
     pub jobs: usize,
+    /// Telemetry event-trace output file (JSONL), if requested.
+    pub trace: Option<PathBuf>,
 }
 
 /// A parsed `repro` invocation.
@@ -56,6 +58,8 @@ fn parse_scale(name: &str, value: &str) -> Result<usize, String> {
 /// Unknown `--flags` and unknown targets are hard errors. `fig15` is an
 /// alias for `fig14` (one combined module); duplicate targets are
 /// removed regardless of position, keeping the first occurrence.
+/// `--trace FILE` requests the telemetry event stream (JSONL) and works
+/// with both the render and `--json` output modes.
 ///
 /// # Errors
 ///
@@ -82,6 +86,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut full = false;
     let mut json = false;
     let mut out: Option<PathBuf> = None;
+    let mut trace: Option<PathBuf> = None;
     let mut jobs: usize = 1;
     let mut gnn_scale: Option<usize> = None;
     let mut dlr_scale: Option<usize> = None;
@@ -106,6 +111,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             "--json" => json = true,
             a if a == "--out" || a.starts_with("--out=") => {
                 out = Some(PathBuf::from(value_of("out")?));
+            }
+            a if a == "--trace" || a.starts_with("--trace=") => {
+                trace = Some(PathBuf::from(value_of("trace")?));
             }
             a if a == "--jobs" || a.starts_with("--jobs=") => {
                 let v = value_of("jobs")?;
@@ -174,5 +182,6 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         json,
         out,
         jobs,
+        trace,
     }))
 }

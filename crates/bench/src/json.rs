@@ -441,6 +441,45 @@ impl Value {
         out
     }
 
+    /// Renders the value on a single line with no whitespace — the JSONL
+    /// form used by `repro --trace` (one event per line).
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.render_flat(&mut out);
+        out
+    }
+
+    fn render_flat(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(raw) => out.push_str(raw),
+            Value::Str(s) => escape_into(out, s),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_flat(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(out, k);
+                    out.push(':');
+                    v.render_flat(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn render(&self, out: &mut String, indent: usize) {
         let pad = |out: &mut String, n: usize| {
             out.push('\n');
@@ -740,6 +779,20 @@ mod tests {
         assert_eq!(v.render_pretty(), s);
         assert_eq!(v.get("count"), Some(&Value::Num("42".into())));
         assert_eq!(v.get("missing"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn render_compact_is_single_line() {
+        let s = to_string_pretty(&demo()).unwrap();
+        let v = parse(&s).unwrap();
+        let c = v.render_compact();
+        assert!(!c.contains('\n'));
+        assert_eq!(
+            c,
+            "{\"name\":\"fig \\\"2\\\"\",\"ratio\":0.125,\"count\":42,\"missing\":null,\"tags\":[\"a\",\"b\"]}"
+        );
+        // Compact output re-parses to the same value.
+        assert_eq!(parse(&c).unwrap(), v);
     }
 
     #[test]

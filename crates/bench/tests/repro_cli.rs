@@ -1,8 +1,11 @@
 //! Tests for the `repro` CLI surface and the JSON artifact layer:
 //! argument parsing (aliases, dedup, flag validation), artifact schema
-//! round-trips, and serial-vs-parallel determinism of the runner.
+//! round-trips, telemetry metrics/trace determinism, and
+//! serial-vs-parallel determinism of the runner.
 
-use ugache_bench::artifact::{diff_dirs, Artifact, TargetData, SCHEMA_VERSION};
+use ugache_bench::artifact::{
+    check_dir_schema, diff_dirs, trace_header, trace_line, Artifact, TargetData, SCHEMA_VERSION,
+};
 use ugache_bench::cli::{self, Command};
 use ugache_bench::runner::{run_units, units_for, Unit};
 use ugache_bench::{json, Scenario};
@@ -128,8 +131,8 @@ fn units_fold_fig10_and_fig11_into_one_computation() {
 #[test]
 fn artifact_schema_round_trips() {
     let s = tiny();
-    let data = TargetData::Fig9(ugache_bench::figures::fig09::compute(&s));
-    let artifact = Artifact::new("fig9", &s, data);
+    let result = Unit::Fig9.compute_with_telemetry(&s);
+    let artifact = Artifact::new("fig9", &s, result.data, Some(result.telemetry.metrics));
     let text = artifact.to_json();
     let v = json::parse(&text).expect("artifact parses");
     // Envelope fields, stable across runs and releases.
@@ -152,6 +155,13 @@ fn artifact_schema_round_trips() {
     );
     let data = v.get("data").expect("data payload");
     assert!(data.get("rows").is_some(), "fig9 payload has rows");
+    // The v2 envelope carries a populated metrics block.
+    let metrics = v.get("metrics").expect("metrics block");
+    let counters = metrics.get("counters").expect("counters map");
+    assert!(
+        counters.get("bench.computes").is_some(),
+        "bench counter present"
+    );
     // The parsed value renders back to the exact same bytes.
     assert_eq!(format!("{}\n", v.render_pretty()), text);
 }
@@ -169,10 +179,124 @@ fn serial_and_parallel_runs_produce_identical_artifacts() {
     let parallel = run_units(&s, &units, 4);
     assert_eq!(serial.len(), parallel.len());
     for ((t, a), b) in targets.iter().zip(&serial).zip(&parallel) {
-        let ja = Artifact::new(t, &s, a.clone()).to_json();
-        let jb = Artifact::new(t, &s, b.clone()).to_json();
+        // Artifact bytes — payload plus metrics block — must match.
+        let ja = Artifact::new(t, &s, a.data.clone(), Some(a.telemetry.metrics.clone())).to_json();
+        let jb = Artifact::new(t, &s, b.data.clone(), Some(b.telemetry.metrics.clone())).to_json();
         assert_eq!(ja, jb, "{t}: serial and parallel artifacts diverge");
+        // The event streams must match line for line too.
+        let ta: Vec<String> = a
+            .telemetry
+            .events
+            .iter()
+            .map(|e| trace_line(t, e).render_compact())
+            .collect();
+        let tb: Vec<String> = b
+            .telemetry
+            .events
+            .iter()
+            .map(|e| trace_line(t, e).render_compact())
+            .collect();
+        assert_eq!(ta, tb, "{t}: serial and parallel traces diverge");
     }
+}
+
+#[test]
+fn every_unit_reports_populated_metrics() {
+    let s = tiny();
+    let targets: Vec<String> = cli::TARGETS
+        .iter()
+        .filter(|t| **t != "fig15" && **t != "fig11") // aliases of fig14 / fig10
+        .map(|t| t.to_string())
+        .collect();
+    let units = units_for(&targets);
+    let results = run_units(&s, &units, 4);
+    for (t, r) in targets.iter().zip(&results) {
+        assert!(
+            !r.telemetry.metrics.is_empty(),
+            "{t}: metrics block is empty"
+        );
+    }
+    // Memsim-backed figures must additionally carry a non-empty event
+    // stream, so `repro --trace` has something to say about them.
+    for (t, r) in targets.iter().zip(&results) {
+        if *t == "fig6" || *t == "fig10" {
+            assert!(!r.telemetry.events.is_empty(), "{t}: no trace events");
+            let lines: Vec<String> = r
+                .telemetry
+                .events
+                .iter()
+                .map(|e| trace_line(t, e).render_compact())
+                .collect();
+            for line in &lines {
+                assert!(!line.contains('\n'), "JSONL lines are single-line");
+                json::parse(line).expect("trace line parses as JSON");
+            }
+        }
+    }
+}
+
+#[test]
+fn trace_header_embeds_schema_and_scenario() {
+    let s = tiny();
+    let header = trace_header(&s).render_compact();
+    let v = json::parse(&header).unwrap();
+    assert_eq!(
+        v.get("schema_version").unwrap(),
+        &json::Value::Num(SCHEMA_VERSION.to_string())
+    );
+    assert_eq!(
+        v.get("kind").unwrap(),
+        &json::Value::Str("ugache-repro-trace".to_string())
+    );
+    assert_eq!(
+        v.get("scenario").unwrap().get("dlr_scale").unwrap(),
+        &json::Value::Num("65536".to_string())
+    );
+}
+
+#[test]
+fn parse_trace_flag() {
+    let spec = run_spec(&["--trace=t.jsonl", "fig2"]);
+    assert_eq!(spec.trace.as_deref(), Some(std::path::Path::new("t.jsonl")));
+    let spec = run_spec(&["--trace", "t.jsonl", "--json", "--out", "d", "fig2"]);
+    assert_eq!(spec.trace.as_deref(), Some(std::path::Path::new("t.jsonl")));
+    let err = cli::parse(&args(&["fig2", "--trace"])).unwrap_err();
+    assert!(err.contains("--trace"), "{err}");
+}
+
+#[test]
+fn check_dir_schema_refuses_stale_artifacts() {
+    let s = tiny();
+    let dir = std::env::temp_dir().join(format!("repro-schema-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Missing and empty directories pass.
+    assert!(check_dir_schema(&dir).is_ok());
+    std::fs::create_dir_all(&dir).unwrap();
+    assert!(check_dir_schema(&dir).is_ok());
+
+    // A current-schema artifact passes; non-artifact JSON is ignored.
+    let result = Unit::Fig9.compute_with_telemetry(&s);
+    Artifact::new("fig9", &s, result.data, Some(result.telemetry.metrics))
+        .write(&dir)
+        .unwrap();
+    std::fs::write(dir.join("notes.json"), "{\"hello\": 1}\n").unwrap();
+    assert!(check_dir_schema(&dir).is_ok());
+
+    // An artifact from another schema generation is a hard error that
+    // names the file and points at the docs.
+    let stale = std::fs::read_to_string(dir.join("fig9.json"))
+        .unwrap()
+        .replace(
+            &format!("\"schema_version\": {SCHEMA_VERSION}"),
+            "\"schema_version\": 1",
+        );
+    std::fs::write(dir.join("fig9.json"), stale).unwrap();
+    let err = check_dir_schema(&dir).unwrap_err();
+    assert!(err.contains("fig9.json"), "{err}");
+    assert!(err.contains("EXPERIMENTS.md"), "{err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
@@ -184,17 +308,19 @@ fn diff_dirs_reports_and_clears() {
     let _ = std::fs::remove_dir_all(&base);
 
     let data = TargetData::Fig9(ugache_bench::figures::fig09::compute(&s));
-    Artifact::new("fig9", &s, data.clone())
+    Artifact::new("fig9", &s, data.clone(), None)
         .write(&dir_a)
         .unwrap();
-    Artifact::new("fig9", &s, data).write(&dir_b).unwrap();
+    Artifact::new("fig9", &s, data, None).write(&dir_b).unwrap();
     assert!(diff_dirs(&dir_a, &dir_b).unwrap().is_empty());
 
     // A scenario change shows up as a structural difference.
     let mut s2 = s;
     s2.iters = 2;
     let data2 = TargetData::Fig9(ugache_bench::figures::fig09::compute(&s2));
-    Artifact::new("fig9", &s2, data2).write(&dir_b).unwrap();
+    Artifact::new("fig9", &s2, data2, None)
+        .write(&dir_b)
+        .unwrap();
     let diffs = diff_dirs(&dir_a, &dir_b).unwrap();
     assert!(
         diffs.iter().any(|d| d.contains("scenario.iters")),
@@ -203,7 +329,9 @@ fn diff_dirs_reports_and_clears() {
 
     // A file present on one side only is reported.
     let extra = TargetData::Table1(ugache_bench::figures::table1::compute(&s));
-    Artifact::new("table1", &s, extra).write(&dir_a).unwrap();
+    Artifact::new("table1", &s, extra, None)
+        .write(&dir_a)
+        .unwrap();
     let diffs = diff_dirs(&dir_a, &dir_b).unwrap();
     assert!(diffs.iter().any(|d| d.contains("table1.json")), "{diffs:?}");
 

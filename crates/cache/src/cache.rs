@@ -143,6 +143,10 @@ impl MultiGpuCache {
                 }
             }
         }
+        emb_telemetry::count("cache.gathers", 1.0);
+        emb_telemetry::count("cache.local_hits", stats.local as f64);
+        emb_telemetry::count("cache.remote_hits", stats.remote as f64);
+        emb_telemetry::count("cache.host_misses", stats.host as f64);
         stats
     }
 

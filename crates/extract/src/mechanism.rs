@@ -105,6 +105,24 @@ impl Extractor {
 
     /// Extracts pre-computed per-source demands.
     pub fn extract_works(&self, works: &[GpuWork]) -> ExtractOutcome {
+        if emb_telemetry::enabled() {
+            // Per-tier byte totals, relative to each destination GPU:
+            // local HBM / peer NVLink / host PCIe (names in EXPERIMENTS.md).
+            let (mut local, mut remote, mut host) = (0.0f64, 0.0f64, 0.0f64);
+            for w in works {
+                for d in &w.demands {
+                    match d.src {
+                        Location::Gpu(j) if j == w.gpu => local += d.bytes,
+                        Location::Gpu(_) => remote += d.bytes,
+                        Location::Host => host += d.bytes,
+                    }
+                }
+            }
+            emb_telemetry::count("extract.calls", 1.0);
+            emb_telemetry::count("extract.bytes.local", local);
+            emb_telemetry::count("extract.bytes.remote", remote);
+            emb_telemetry::count("extract.bytes.host", host);
+        }
         match self.mechanism {
             Mechanism::PeerNaive { seed } => {
                 let r = simulate(

@@ -470,6 +470,10 @@ fn run(
     let mut gpu_finish = vec![0.0f64; platform.num_gpus()];
     let mut core_busy = vec![0.0f64; platform.num_gpus()];
     let mut iterations: u64 = 0;
+    // Telemetry tallies, recorded once after the loop; counting here is a
+    // plain integer add so the disabled path stays free.
+    let mut congestion_hits: u64 = 0;
+    let mut egress_caps: u64 = 0;
 
     loop {
         iterations += 1;
@@ -496,6 +500,9 @@ fn run(
         // Per-group raw rates from the congestion model.
         for g in groups.iter_mut() {
             g.rate = effective_bw(g.path.bw, g.path.per_core_bw, g.active, cfg.congestion);
+            if g.active as f64 * g.path.per_core_bw > g.path.bw {
+                congestion_hits += 1;
+            }
         }
 
         // Source-egress sharing: switch-based GPU sources and the host.
@@ -539,6 +546,7 @@ fn run(
             let eff_cap = effective_bw(cap, pc, total_cores, cfg.congestion).min(cap);
             let demand: f64 = readers.iter().map(|&i| groups[i].rate).sum();
             if demand > eff_cap && demand > 0.0 {
+                egress_caps += 1;
                 let scale = eff_cap / demand;
                 for &i in &readers {
                     groups[i].rate *= scale;
@@ -638,7 +646,91 @@ fn run(
         .map(|g| g.time)
         .max()
         .unwrap_or(SimTime::ZERO);
-    (ExtractionResult { makespan, per_gpu }, trace)
+    let result = ExtractionResult { makespan, per_gpu };
+    record_telemetry(platform, &result, mode, congestion_hits, egress_caps);
+    (result, trace)
+}
+
+/// Label for metric names: `gpu3` / `host`.
+fn loc_label(src: Location) -> String {
+    match src {
+        Location::Gpu(j) => format!("gpu{j}"),
+        Location::Host => "host".to_string(),
+    }
+}
+
+/// Records one extraction's per-link, per-flow and per-GPU observability
+/// data into the active `emb_telemetry` scope (no-op when none is
+/// active). Counter names are documented in `EXPERIMENTS.md`.
+fn record_telemetry(
+    platform: &Platform,
+    result: &ExtractionResult,
+    mode: DispatchMode,
+    congestion_hits: u64,
+    egress_caps: u64,
+) {
+    if !emb_telemetry::enabled() {
+        return;
+    }
+    let mut total_bytes = 0.0f64;
+    for g in &result.per_gpu {
+        let makespan_s = g.time.as_secs_f64();
+        for u in &g.per_src {
+            total_bytes += u.bytes;
+            let prefix = format!("memsim.link.gpu{}.{}", g.gpu, loc_label(u.src));
+            emb_telemetry::count(&format!("{prefix}.bytes"), u.bytes);
+            emb_telemetry::count(&format!("{prefix}.busy_secs"), u.busy.as_secs_f64());
+            // Queueing/stall: wall time this GPU was still extracting while
+            // the flow had no core serving it.
+            let stall = (makespan_s - u.busy.as_secs_f64()).max(0.0);
+            emb_telemetry::count(&format!("{prefix}.stall_secs"), stall);
+        }
+        let sm = platform.gpus[g.gpu].sm_count as f64;
+        if makespan_s > 0.0 && sm > 0.0 {
+            let util = g.core_busy.as_secs_f64() / (makespan_s * sm);
+            emb_telemetry::observe("memsim.core_util", util);
+            emb_telemetry::count(
+                "memsim.stall_core_secs",
+                (makespan_s * sm - g.core_busy.as_secs_f64()).max(0.0),
+            );
+        }
+    }
+    emb_telemetry::count("memsim.extractions", 1.0);
+    emb_telemetry::count("memsim.congestion.link_activations", congestion_hits as f64);
+    emb_telemetry::count("memsim.congestion.egress_capped", egress_caps as f64);
+    emb_telemetry::event("memsim.extract", || {
+        let mode_label = match mode {
+            DispatchMode::RandomShared { .. } => "random",
+            DispatchMode::Factored { .. } => "factored",
+            DispatchMode::Sequential => "sequential",
+        };
+        vec![
+            (
+                "gpus".to_string(),
+                emb_telemetry::EventValue::U64(result.per_gpu.len() as u64),
+            ),
+            (
+                "mode".to_string(),
+                emb_telemetry::EventValue::Str(mode_label.to_string()),
+            ),
+            (
+                "bytes".to_string(),
+                emb_telemetry::EventValue::F64(total_bytes),
+            ),
+            (
+                "makespan_secs".to_string(),
+                emb_telemetry::EventValue::F64(result.makespan.as_secs_f64()),
+            ),
+            (
+                "congestion_activations".to_string(),
+                emb_telemetry::EventValue::U64(congestion_hits),
+            ),
+            (
+                "egress_capped".to_string(),
+                emb_telemetry::EventValue::U64(egress_caps),
+            ),
+        ]
+    });
 }
 
 fn profile_for(platform: &Platform, dedication: DedicationConfig) -> Profile {

@@ -24,6 +24,8 @@
 //! local-extraction padding) and [`DispatchMode::Sequential`] (one source
 //! at a time, used for message-based phase modelling).
 
+#![deny(missing_docs)]
+
 pub mod bandwidth;
 pub mod engine;
 pub mod microbench;

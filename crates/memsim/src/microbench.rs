@@ -39,6 +39,7 @@ pub fn bandwidth_with_cores(
         Location::Gpu(_) => matches!(platform.interconnect, Interconnect::Switch { .. }),
     };
     if !egress_applies {
+        record_sample(dst, src, cores, raw);
         return raw;
     }
 
@@ -59,11 +60,43 @@ pub fn bandwidth_with_cores(
     let pc: f64 = demands.iter().map(|d| d.1 * d.2 as f64).sum::<f64>() / total_cores.max(1) as f64;
     let eff_cap = effective_bw(cap, pc, total_cores, model).min(cap);
     let total: f64 = demands.iter().map(|d| d.0).sum();
-    if total <= eff_cap {
+    let achieved = if total <= eff_cap {
         raw
     } else {
         raw * eff_cap / total
+    };
+    record_sample(dst, src, cores, achieved);
+    achieved
+}
+
+/// Records one closed-form bandwidth sample into the active telemetry
+/// scope (no-op when none is active); counter names in `EXPERIMENTS.md`.
+fn record_sample(dst: usize, src: Location, cores: usize, bytes_per_sec: f64) {
+    if !emb_telemetry::enabled() {
+        return;
     }
+    emb_telemetry::count("memsim.microbench.samples", 1.0);
+    emb_telemetry::observe("memsim.microbench.bytes_per_sec", bytes_per_sec);
+    emb_telemetry::event("memsim.microbench", || {
+        vec![
+            (
+                "dst".to_string(),
+                emb_telemetry::EventValue::U64(dst as u64),
+            ),
+            (
+                "src".to_string(),
+                emb_telemetry::EventValue::Str(src.to_string()),
+            ),
+            (
+                "cores".to_string(),
+                emb_telemetry::EventValue::U64(cores as u64),
+            ),
+            (
+                "bytes_per_sec".to_string(),
+                emb_telemetry::EventValue::F64(bytes_per_sec),
+            ),
+        ]
+    });
 }
 
 /// Sweeps `1..=max_cores` concurrent cores and returns `(cores, bytes/s)`

@@ -164,6 +164,30 @@ impl Model {
         self.vars.iter().zip(x).map(|(v, &xi)| v.obj * xi).sum()
     }
 
+    /// Largest primal constraint violation of a point, in rhs units
+    /// (`0.0` when every constraint holds exactly). Variable bounds and
+    /// integrality are not included — use [`Model::is_feasible`] for the
+    /// full check. This is the convergence residual the telemetry layer
+    /// reports per LP solve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is shorter than the highest variable index any
+    /// constraint references.
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        let mut worst = 0.0f64;
+        for c in &self.constraints {
+            let lhs: f64 = c.expr.terms.iter().map(|&(v, k)| k * x[v.0]).sum();
+            let viol = match c.sense {
+                ConstraintSense::Le => lhs - c.rhs,
+                ConstraintSense::Ge => c.rhs - lhs,
+                ConstraintSense::Eq => (lhs - c.rhs).abs(),
+            };
+            worst = worst.max(viol);
+        }
+        worst
+    }
+
     /// Checks primal feasibility of a point within tolerance `tol`
     /// (bounds, constraints, and integrality for integer variables).
     pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {

@@ -27,6 +27,12 @@ pub struct LpResult {
     pub x: Vec<f64>,
     /// Optimal objective value.
     pub objective: f64,
+    /// Simplex pivots/bound-flips performed across both phases.
+    pub iterations: usize,
+    /// Largest remaining constraint violation at `x` (see
+    /// [`Model::max_violation`]); ideally ~0, reported as the solver's
+    /// convergence residual.
+    pub max_residual: f64,
 }
 
 const EPS: f64 = 1e-7;
@@ -51,6 +57,8 @@ struct Tableau {
     basis: Vec<usize>,
     in_basis: Vec<bool>,
     cost: Vec<f64>,
+    /// Simplex steps taken so far, accumulated across phases.
+    iterations: usize,
 }
 
 impl Tableau {
@@ -149,6 +157,7 @@ impl Tableau {
             basis,
             in_basis,
             cost: vec![0.0; n],
+            iterations: 0,
         }
     }
 
@@ -341,6 +350,7 @@ impl Tableau {
             let Some(q) = self.choose_entering(&d, bland) else {
                 return Ok(());
             };
+            self.iterations += 1;
             match self.step(q, d[q]) {
                 Ok(t) => {
                     if t <= 1e-10 {
@@ -366,7 +376,13 @@ impl Tableau {
     fn solution(&self, model: &Model) -> LpResult {
         let x: Vec<f64> = self.x[..self.n_struct].to_vec();
         let objective = model.objective_value(&x);
-        LpResult { x, objective }
+        let max_residual = model.max_violation(&x);
+        LpResult {
+            x,
+            objective,
+            iterations: self.iterations,
+            max_residual,
+        }
     }
 }
 

@@ -19,6 +19,8 @@
 //! DGX-1 hybrid cube-mesh, non-uniform with unconnected pairs) and
 //! [`Platform::server_c`] (8×A100, NVSwitch).
 
+#![deny(missing_docs)]
+
 pub mod gpu;
 pub mod link;
 pub mod profile;

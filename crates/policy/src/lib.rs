@@ -21,6 +21,8 @@
 //!   entry) via branch-and-bound, used for the Figure 16 "theoretically
 //!   optimal" comparison and for cross-validating the solver.
 
+#![deny(missing_docs)]
+
 pub mod baselines;
 pub mod blocks;
 pub mod estimate;

@@ -194,9 +194,13 @@ pub fn solve_paper_milp(
         }
     } else {
         let r = milp::solve_lp(&m).map_err(|e| format!("paper LP failed: {e:?}"))?;
+        emb_telemetry::count("policy.lp.solves", 1.0);
+        emb_telemetry::count("policy.lp.iterations", r.iterations as f64);
+        emb_telemetry::observe("policy.lp.residual", r.max_residual);
         let obj = r.objective * time_unit;
         (r.x, obj, obj, true)
     };
+    emb_telemetry::count("policy.paper_milp.solves", 1.0);
 
     // Per-unit access: argmax over a[u][i][·].
     let mut access = vec![vec![0 as SourceIdx; g]; units.len()];

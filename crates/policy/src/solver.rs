@@ -120,6 +120,36 @@ impl UGacheSolver {
         let (model, y_ids, time_unit) = self.build_lp(&blocks, &patterns, cap_entries, cfg);
         let sol = milp::solve_lp(&model).map_err(|s| format!("policy LP failed: {s:?}"))?;
 
+        emb_telemetry::count("policy.lp.solves", 1.0);
+        emb_telemetry::count("policy.lp.iterations", sol.iterations as f64);
+        emb_telemetry::observe("policy.lp.residual", sol.max_residual);
+        emb_telemetry::count("policy.blocks", blocks.len() as f64);
+        emb_telemetry::count("policy.patterns", patterns.len() as f64);
+        emb_telemetry::event("policy.solve", || {
+            vec![
+                (
+                    "blocks".to_string(),
+                    emb_telemetry::EventValue::U64(blocks.len() as u64),
+                ),
+                (
+                    "patterns".to_string(),
+                    emb_telemetry::EventValue::U64(patterns.len() as u64),
+                ),
+                (
+                    "lp_iterations".to_string(),
+                    emb_telemetry::EventValue::U64(sol.iterations as u64),
+                ),
+                (
+                    "lp_residual".to_string(),
+                    emb_telemetry::EventValue::F64(sol.max_residual),
+                ),
+                (
+                    "predicted_secs".to_string(),
+                    emb_telemetry::EventValue::F64(sol.objective * time_unit),
+                ),
+            ]
+        });
+
         // Extract y fractions.
         let y: Vec<Vec<f64>> = y_ids
             .iter()

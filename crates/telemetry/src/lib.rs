@@ -1,0 +1,389 @@
+//! Deterministic, scoped telemetry for the ugache-rs workspace.
+//!
+//! Simulation and policy code records *what happened* — bytes moved per
+//! link, per-tier cache hits, LP iterations — without knowing who is
+//! listening. A harness that wants the numbers wraps a computation in
+//! [`collect`], which installs a thread-local collector for the duration
+//! of the closure and returns everything recorded inside it as a
+//! [`Report`].
+//!
+//! Three properties are load-bearing for the repro harness (see
+//! `EXPERIMENTS.md` for the serialized schema):
+//!
+//! * **Deterministic.** A [`Report`] is a pure function of the wrapped
+//!   computation: counters and gauges are keyed maps emitted in sorted
+//!   order, events carry a per-scope sequence number assigned in record
+//!   order. Because the collector is thread-local and scoped, two runs of
+//!   the same computation produce byte-identical reports no matter how
+//!   many *other* computations run concurrently on other threads.
+//! * **Zero-cost when disabled.** Outside any [`collect`] scope every
+//!   recording function returns after one thread-local check; nothing is
+//!   allocated (enforced by a counting-allocator test). Call sites that
+//!   must build dynamic metric names guard with [`enabled`].
+//! * **Seed-free.** The crate never reads clocks or random state; values
+//!   come exclusively from the instrumented code.
+//!
+//! # Example
+//!
+//! ```
+//! let ((), report) = emb_telemetry::collect(|| {
+//!     emb_telemetry::count("cache.local_hits", 3.0);
+//!     emb_telemetry::observe("memsim.core_util", 0.85);
+//!     emb_telemetry::event("memsim.extract", || {
+//!         vec![("bytes".to_string(), emb_telemetry::EventValue::U64(4096))]
+//!     });
+//! });
+//! assert_eq!(report.metrics.counters, vec![("cache.local_hits".to_string(), 3.0)]);
+//! assert_eq!(report.events.len(), 1);
+//! // Outside the scope, recording is a no-op.
+//! emb_telemetry::count("cache.local_hits", 1.0);
+//! assert!(!emb_telemetry::enabled());
+//! ```
+
+#![deny(missing_docs)]
+
+use serde::ser::{SerializeMap, SerializeStruct};
+use serde::{Serialize, Serializer};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// One value attached to a trace [`Event`] field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventValue {
+    /// An unsigned integer (counts, ids, byte totals).
+    U64(u64),
+    /// A float (seconds, rates, ratios).
+    F64(f64),
+    /// A short label (tier names, modes).
+    Str(String),
+}
+
+impl Serialize for EventValue {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            EventValue::U64(v) => serializer.serialize_u64(*v),
+            EventValue::F64(v) => serializer.serialize_f64(*v),
+            EventValue::Str(v) => serializer.serialize_str(v),
+        }
+    }
+}
+
+/// One structured trace event, ordered within its [`collect`] scope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Position of this event in its scope, starting at 0.
+    pub seq: u64,
+    /// Dotted event name, e.g. `memsim.extract`.
+    pub name: String,
+    /// Named payload fields, in the order the recorder listed them.
+    pub fields: Vec<(String, EventValue)>,
+}
+
+/// Count/sum/min/max digest of every [`observe`] call on one histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    fn new(value: f64) -> Self {
+        HistogramSummary {
+            count: 1,
+            sum: value,
+            min: value,
+            max: value,
+        }
+    }
+}
+
+/// All metric instruments of one [`collect`] scope, sorted by name.
+///
+/// Serializes as three JSON objects (`counters`, `gauges`,
+/// `histograms`) keyed by metric name; key order is the sorted name
+/// order, so serialization is byte-deterministic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic sums, `(name, total)`, sorted by name.
+    pub counters: Vec<(String, f64)>,
+    /// Last-write-wins values, `(name, value)`, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Distribution digests, `(name, summary)`, sorted by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl MetricsSnapshot {
+    /// True when no instrument recorded anything in the scope.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// Serializes `(name, value)` pairs as a JSON object.
+struct AsMap<'a, V>(&'a [(String, V)]);
+
+impl<V: Serialize> Serialize for AsMap<'_, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.0.len()))?;
+        for (name, value) in self.0 {
+            map.serialize_key(name)?;
+            map.serialize_value(value)?;
+        }
+        map.end()
+    }
+}
+
+impl Serialize for MetricsSnapshot {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("MetricsSnapshot", 3)?;
+        st.serialize_field("counters", &AsMap(&self.counters))?;
+        st.serialize_field("gauges", &AsMap(&self.gauges))?;
+        st.serialize_field("histograms", &AsMap(&self.histograms))?;
+        st.end()
+    }
+}
+
+/// Everything recorded inside one [`collect`] scope.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Report {
+    /// Counter/gauge/histogram totals, sorted by name.
+    pub metrics: MetricsSnapshot,
+    /// Trace events in record order (`seq` is the index).
+    pub events: Vec<Event>,
+}
+
+impl Report {
+    /// True when the scope recorded no metrics and no events.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty() && self.events.is_empty()
+    }
+}
+
+#[derive(Default)]
+struct Collector {
+    counters: BTreeMap<String, f64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, HistogramSummary>,
+    events: Vec<Event>,
+}
+
+impl Collector {
+    fn into_report(self) -> Report {
+        Report {
+            metrics: MetricsSnapshot {
+                counters: self.counters.into_iter().collect(),
+                gauges: self.gauges.into_iter().collect(),
+                histograms: self.histograms.into_iter().collect(),
+            },
+            events: self.events,
+        }
+    }
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Collector>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Pops the collector pushed by [`collect`] even if the closure panics,
+/// so a panicking scope cannot leave the thread-local stack corrupted.
+struct ScopeGuard;
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        STACK.with(|s| s.borrow_mut().pop());
+    }
+}
+
+/// Runs `f` with a fresh telemetry scope and returns its result together
+/// with everything recorded inside.
+///
+/// Scopes nest: recordings go to the innermost scope only, so a caller
+/// that wraps an already-instrumented harness observes nothing from the
+/// inner scope. The scope is thread-local — work `f` spawns onto other
+/// threads is not captured.
+///
+/// # Panics
+///
+/// Propagates any panic from `f` (after unwinding the scope, so the
+/// thread's telemetry stack stays usable).
+pub fn collect<R>(f: impl FnOnce() -> R) -> (R, Report) {
+    STACK.with(|s| s.borrow_mut().push(Collector::default()));
+    let guard = ScopeGuard;
+    let result = f();
+    std::mem::forget(guard);
+    let collector = STACK
+        .with(|s| s.borrow_mut().pop())
+        .expect("scope pushed above");
+    (result, collector.into_report())
+}
+
+/// True when a [`collect`] scope is active on this thread.
+///
+/// Hot paths that would have to *build* a metric name (e.g.
+/// `format!("memsim.link.gpu{i}...")`) should guard on this so the
+/// disabled path stays allocation-free; plain `&'static str` call sites
+/// don't need to.
+pub fn enabled() -> bool {
+    STACK.with(|s| !s.borrow().is_empty())
+}
+
+fn with_active(f: impl FnOnce(&mut Collector)) {
+    STACK.with(|s| {
+        if let Some(c) = s.borrow_mut().last_mut() {
+            f(c);
+        }
+    });
+}
+
+/// Adds `delta` to the counter `name` (created at 0) in the active
+/// scope; no-op when no scope is active.
+pub fn count(name: &str, delta: f64) {
+    with_active(|c| match c.counters.get_mut(name) {
+        Some(v) => *v += delta,
+        None => {
+            c.counters.insert(name.to_string(), delta);
+        }
+    });
+}
+
+/// Sets the gauge `name` to `value` (last write wins) in the active
+/// scope; no-op when no scope is active.
+pub fn gauge(name: &str, value: f64) {
+    with_active(|c| match c.gauges.get_mut(name) {
+        Some(v) => *v = value,
+        None => {
+            c.gauges.insert(name.to_string(), value);
+        }
+    });
+}
+
+/// Records `value` into the histogram `name` in the active scope; no-op
+/// when no scope is active.
+pub fn observe(name: &str, value: f64) {
+    with_active(|c| match c.histograms.get_mut(name) {
+        Some(h) => h.record(value),
+        None => {
+            c.histograms
+                .insert(name.to_string(), HistogramSummary::new(value));
+        }
+    });
+}
+
+/// Appends a trace event named `name` to the active scope; `fields` is
+/// only invoked when a scope is active, so building the payload costs
+/// nothing when telemetry is disabled.
+pub fn event(name: &str, fields: impl FnOnce() -> Vec<(String, EventValue)>) {
+    with_active(|c| {
+        let seq = c.events.len() as u64;
+        c.events.push(Event {
+            seq,
+            name: name.to_string(),
+            fields: fields(),
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        count("x", 1.0);
+        gauge("y", 2.0);
+        observe("z", 3.0);
+        event("e", || vec![("k".to_string(), EventValue::U64(1))]);
+        let ((), report) = collect(|| {});
+        assert!(report.is_empty(), "pre-scope records must not leak in");
+    }
+
+    #[test]
+    fn collect_captures_sorted_metrics_and_ordered_events() {
+        let (val, report) = collect(|| {
+            count("b.count", 2.0);
+            count("a.count", 1.0);
+            count("b.count", 3.0);
+            gauge("g", 1.0);
+            gauge("g", 9.0);
+            observe("h", 4.0);
+            observe("h", 2.0);
+            event("first", Vec::new);
+            event("second", || {
+                vec![("n".to_string(), EventValue::Str("x".into()))]
+            });
+            42
+        });
+        assert_eq!(val, 42);
+        assert_eq!(
+            report.metrics.counters,
+            vec![("a.count".to_string(), 1.0), ("b.count".to_string(), 5.0)]
+        );
+        assert_eq!(report.metrics.gauges, vec![("g".to_string(), 9.0)]);
+        assert_eq!(
+            report.metrics.histograms,
+            vec![(
+                "h".to_string(),
+                HistogramSummary {
+                    count: 2,
+                    sum: 6.0,
+                    min: 2.0,
+                    max: 4.0
+                }
+            )]
+        );
+        assert_eq!(report.events.len(), 2);
+        assert_eq!(report.events[0].seq, 0);
+        assert_eq!(report.events[0].name, "first");
+        assert_eq!(report.events[1].seq, 1);
+        assert_eq!(report.events[1].fields.len(), 1);
+    }
+
+    #[test]
+    fn nested_scopes_are_isolated() {
+        let ((), outer) = collect(|| {
+            count("outer", 1.0);
+            let ((), inner) = collect(|| count("inner", 1.0));
+            assert_eq!(inner.metrics.counters, vec![("inner".to_string(), 1.0)]);
+        });
+        assert_eq!(outer.metrics.counters, vec![("outer".to_string(), 1.0)]);
+    }
+
+    #[test]
+    fn panicking_scope_unwinds_cleanly() {
+        let caught = std::panic::catch_unwind(|| {
+            let _ = collect(|| panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert!(!enabled(), "panicked scope must pop its collector");
+        let ((), report) = collect(|| count("after", 1.0));
+        assert_eq!(report.metrics.counters, vec![("after".to_string(), 1.0)]);
+    }
+
+    #[test]
+    fn identical_computations_produce_identical_reports() {
+        let run = || {
+            collect(|| {
+                for i in 0..5 {
+                    count("c", i as f64);
+                    observe("h", (i * i) as f64);
+                }
+                event("done", || vec![("n".to_string(), EventValue::U64(5))]);
+            })
+            .1
+        };
+        assert_eq!(run(), run());
+    }
+}

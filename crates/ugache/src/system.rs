@@ -163,6 +163,24 @@ impl UGache {
         let refresh_active = self.refresher.active();
         let clock = self.clock;
         self.refresher.tick(clock, &mut self.cache);
+        emb_telemetry::count("ugache.iterations", 1.0);
+        emb_telemetry::count("ugache.extract_secs", outcome.makespan.as_secs_f64());
+        emb_telemetry::event("ugache.iteration", || {
+            vec![
+                (
+                    "extract_secs".to_string(),
+                    emb_telemetry::EventValue::F64(outcome.makespan.as_secs_f64()),
+                ),
+                (
+                    "clock_secs".to_string(),
+                    emb_telemetry::EventValue::F64(clock),
+                ),
+                (
+                    "refresh_active".to_string(),
+                    emb_telemetry::EventValue::U64(u64::from(refresh_active)),
+                ),
+            ]
+        });
         IterationReport {
             extract: outcome,
             refresh_active,
@@ -221,6 +239,19 @@ impl UGache {
                 .begin(self.clock, self.cache.placement(), solved.placement);
             self.predicted_secs = solved.predicted_secs;
             self.sampler.reset();
+            emb_telemetry::count("ugache.refreshes", 1.0);
+            emb_telemetry::event("ugache.refresh_started", || {
+                vec![
+                    (
+                        "clock_secs".to_string(),
+                        emb_telemetry::EventValue::F64(self.clock),
+                    ),
+                    (
+                        "predicted_secs".to_string(),
+                        emb_telemetry::EventValue::F64(self.predicted_secs),
+                    ),
+                ]
+            });
             Ok(true)
         } else {
             Ok(false)
