@@ -5,20 +5,23 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "target": "fig12",
 //!   "seed": 24301,
 //!   "scenario": { ... },
 //!   "data": <target-specific payload>,
-//!   "metrics": { "counters": { ... }, "gauges": { ... }, "histograms": { ... } }
+//!   "metrics": { "counters": { ... }, "gauges": { ... }, "histograms": { ... } },
+//!   "timeline": { "extent_ns": ..., "tracks": [ ... ] }
 //! }
 //! ```
 //!
 //! The payload is the figure module's `compute` result, serialized
 //! untagged (the `target` field already identifies its shape). The
 //! `metrics` block is the [`emb_telemetry::MetricsSnapshot`] collected
-//! while computing the payload (see EXPERIMENTS.md for the field-level
-//! schema). Artifacts are rendered with
+//! while computing the payload; the `timeline` block is the
+//! span-derived per-track occupancy summary ([`crate::timeline`]), or
+//! `null` for units that record no spans (see EXPERIMENTS.md for the
+//! field-level schema). Artifacts are rendered with
 //! [`crate::json::to_string_pretty`], which is deterministic: two runs
 //! of the same target at the same scenario produce byte-identical
 //! files. [`diff_dirs`] compares two artifact directories structurally,
@@ -35,8 +38,10 @@ use std::path::{Path, PathBuf};
 /// Version of the artifact envelope; bump on any breaking schema change.
 ///
 /// History: v1 had no `metrics` block; v2 added `metrics` (telemetry
-/// snapshot per target) and the `repro --trace` event stream.
-pub const SCHEMA_VERSION: u64 = 2;
+/// snapshot per target) and the `repro --trace` event stream; v3 added
+/// the span-derived `timeline` block and the `repro --chrome-trace` /
+/// `repro compare` surfaces.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// The computed result of one repro unit, ready for rendering or
 /// serialization.
@@ -112,6 +117,9 @@ pub struct Artifact {
     /// Telemetry collected while computing `data`; `None` serializes as
     /// `null` (a compute run without a telemetry scope).
     pub metrics: Option<emb_telemetry::MetricsSnapshot>,
+    /// Span-derived per-track occupancy summary; `None` serializes as
+    /// `null` (the unit recorded no spans).
+    pub timeline: Option<crate::timeline::Timeline>,
 }
 
 impl Artifact {
@@ -121,6 +129,7 @@ impl Artifact {
         scenario: &Scenario,
         data: TargetData,
         metrics: Option<emb_telemetry::MetricsSnapshot>,
+        timeline: Option<crate::timeline::Timeline>,
     ) -> Self {
         Artifact {
             schema_version: SCHEMA_VERSION,
@@ -129,6 +138,7 @@ impl Artifact {
             scenario: *scenario,
             data,
             metrics,
+            timeline: timeline.filter(|t| !t.is_empty()),
         }
     }
 

@@ -2,9 +2,12 @@
 //!
 //! Usage:
 //! ```text
-//! repro [--full] [--jobs N] [--trace OUT.jsonl] <target>...
-//! repro [--full] [--jobs N] [--trace OUT.jsonl] --json --out DIR <target>...
+//! repro [--full] [--jobs N] [--trace OUT.jsonl] [--chrome-trace OUT.json] <target>...
+//! repro [--full] [--jobs N] [...] --json --out DIR <target>...
+//! repro profile [--full] [--jobs N] <target>...
 //! repro diff <dir-a> <dir-b>
+//! repro compare <baseline-dir> <new-dir>
+//! repro check-trace <trace.json>
 //! repro list
 //! repro all
 //! ```
@@ -16,10 +19,17 @@
 //! targets on N worker threads; output order and artifact bytes are
 //! identical to a serial run. `--json --out DIR` writes one
 //! stable-schema JSON artifact per target instead of pretty-printing
-//! (each carries a telemetry `metrics` block); `--trace OUT.jsonl`
-//! additionally writes the ordered telemetry event stream, one JSON
-//! object per line (see EXPERIMENTS.md for the schema). `repro diff`
-//! structurally compares two artifact directories.
+//! (each carries telemetry `metrics` and span-derived `timeline`
+//! blocks); `--trace OUT.jsonl` additionally writes the ordered
+//! telemetry event stream, one JSON object per line, and
+//! `--chrome-trace OUT.json` the simulated-time spans in Chrome
+//! trace-event format (load in `chrome://tracing` or Perfetto; see
+//! EXPERIMENTS.md for both schemas). `repro profile` prints each
+//! target's top time consumers and per-GPU stall breakdown instead of
+//! the figure. `repro diff` structurally compares two artifact
+//! directories; `repro compare` gates a fresh directory against a
+//! baseline using per-metric tolerances (non-zero exit on regression);
+//! `repro check-trace` validates a Chrome trace file structurally.
 
 use ugache_bench::artifact::{
     check_dir_schema, diff_dirs, trace_header, trace_line, Artifact, TargetData,
@@ -27,7 +37,7 @@ use ugache_bench::artifact::{
 use ugache_bench::cli::{self, Command, RunSpec};
 use ugache_bench::figures::*;
 use ugache_bench::runner::{run_units, units_for, Unit, UnitResult};
-use ugache_bench::Scenario;
+use ugache_bench::{chrome, compare, json, profile, timeline, Scenario};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,10 +52,13 @@ fn main() {
         Command::List => {
             println!("targets: {} | all", cli::TARGETS.join(" "));
             println!(
-                "usage: repro [--full] [--jobs N] [--trace OUT.jsonl] [--json --out DIR] \
-                 <target>... (or: repro all)"
+                "usage: repro [--full] [--jobs N] [--trace OUT.jsonl] \
+                 [--chrome-trace OUT.json] [--json --out DIR] <target>... (or: repro all)"
             );
+            println!("       repro profile [--full] [--jobs N] <target>...");
             println!("       repro diff <dir-a> <dir-b>");
+            println!("       repro compare <baseline-dir> <new-dir>");
+            println!("       repro check-trace <trace.json>");
         }
         Command::Diff { a, b } => {
             let diffs = match diff_dirs(&a, &b) {
@@ -61,6 +74,53 @@ fn main() {
                 for d in &diffs {
                     println!("{d}");
                 }
+                std::process::exit(1);
+            }
+        }
+        Command::Compare { baseline, new } => {
+            let failures = match compare::compare_dirs(&baseline, &new) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("compare failed: {e}");
+                    std::process::exit(2);
+                }
+            };
+            if failures.is_empty() {
+                println!(
+                    "no regressions against {} (tolerances in EXPERIMENTS.md)",
+                    baseline.display()
+                );
+            } else {
+                for f in &failures {
+                    println!("{f}");
+                }
+                eprintln!("{} regression(s) beyond tolerance", failures.len());
+                std::process::exit(1);
+            }
+        }
+        Command::CheckTrace { path } => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            };
+            let value = match json::parse(&text) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("{} is not valid JSON: {e}", path.display());
+                    std::process::exit(2);
+                }
+            };
+            let errors = chrome::validate(&value);
+            if errors.is_empty() {
+                println!("{}: structurally valid chrome trace", path.display());
+            } else {
+                for e in &errors {
+                    println!("{e}");
+                }
+                eprintln!("{} structural error(s)", errors.len());
                 std::process::exit(1);
             }
         }
@@ -87,13 +147,16 @@ fn run(spec: &RunSpec) {
     };
     for target in &spec.targets {
         let result = result_for(target);
-        if spec.json {
+        if spec.profile {
+            profile::render_profile(target, &result.telemetry);
+        } else if spec.json {
             let dir = spec.out.as_ref().expect("--json implies --out");
             let artifact = Artifact::new(
                 target,
                 &spec.scenario,
                 result.data.clone(),
                 Some(result.telemetry.metrics.clone()),
+                Some(timeline::from_report(&result.telemetry)),
             );
             match artifact.write(dir) {
                 Ok(path) => println!("wrote {}", path.display()),
@@ -116,6 +179,22 @@ fn run(spec: &RunSpec) {
             Ok(lines) => println!("wrote {} ({lines} trace lines)", path.display()),
             Err(e) => {
                 eprintln!("failed to write trace {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(path) = spec.chrome_trace.as_deref() {
+        let per_target: Vec<(&str, &emb_telemetry::Report)> = spec
+            .targets
+            .iter()
+            .map(|t| (t.as_str(), &result_for(t).telemetry))
+            .collect();
+        let mut rendered = chrome::chrome_trace(&per_target).render_compact();
+        rendered.push('\n');
+        match std::fs::write(path, rendered) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write chrome trace {}: {e}", path.display());
                 std::process::exit(2);
             }
         }

@@ -28,6 +28,11 @@ pub struct RunSpec {
     pub jobs: usize,
     /// Telemetry event-trace output file (JSONL), if requested.
     pub trace: Option<PathBuf>,
+    /// Chrome trace-event output file (JSON), if requested.
+    pub chrome_trace: Option<PathBuf>,
+    /// Render a span profile instead of the figure output (the
+    /// `repro profile` subcommand).
+    pub profile: bool,
 }
 
 /// A parsed `repro` invocation.
@@ -35,12 +40,25 @@ pub struct RunSpec {
 pub enum Command {
     /// Print the target menu and usage.
     List,
-    /// Compare two artifact directories.
+    /// Compare two artifact directories for exact structural equality.
     Diff {
         /// Left directory.
         a: PathBuf,
         /// Right directory.
         b: PathBuf,
+    },
+    /// Compare two artifact directories' metric/timeline blocks against
+    /// the perf-regression tolerance table.
+    Compare {
+        /// Baseline directory (committed reference).
+        baseline: PathBuf,
+        /// Fresh directory to gate.
+        new: PathBuf,
+    },
+    /// Structurally validate a Chrome trace-event file.
+    CheckTrace {
+        /// The trace file to validate.
+        path: PathBuf,
     },
     /// Compute (and render or serialize) targets.
     Run(RunSpec),
@@ -58,8 +76,11 @@ fn parse_scale(name: &str, value: &str) -> Result<usize, String> {
 /// Unknown `--flags` and unknown targets are hard errors. `fig15` is an
 /// alias for `fig14` (one combined module); duplicate targets are
 /// removed regardless of position, keeping the first occurrence.
-/// `--trace FILE` requests the telemetry event stream (JSONL) and works
-/// with both the render and `--json` output modes.
+/// `--trace FILE` requests the telemetry event stream (JSONL) and
+/// `--chrome-trace FILE` the Chrome trace-event span export; both work
+/// with the render and `--json` output modes. The `profile`, `compare`,
+/// and `check-trace` subcommands map to [`Command::Run`] with
+/// `profile` set, [`Command::Compare`], and [`Command::CheckTrace`].
 ///
 /// # Errors
 ///
@@ -82,11 +103,39 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             b: PathBuf::from(&rest[1]),
         });
     }
+    if args.first().map(String::as_str) == Some("compare") {
+        let rest = &args[1..];
+        if let Some(flag) = rest.iter().find(|a| a.starts_with("--")) {
+            return Err(format!("`repro compare` takes no flags, got `{flag}`"));
+        }
+        if rest.len() != 2 {
+            return Err(format!(
+                "`repro compare` expects BASELINE_DIR and NEW_DIR, got {} arguments",
+                rest.len()
+            ));
+        }
+        return Ok(Command::Compare {
+            baseline: PathBuf::from(&rest[0]),
+            new: PathBuf::from(&rest[1]),
+        });
+    }
+    if args.first().map(String::as_str) == Some("check-trace") {
+        let rest = &args[1..];
+        if rest.len() != 1 || rest[0].starts_with("--") {
+            return Err("`repro check-trace` expects exactly one trace file".to_string());
+        }
+        return Ok(Command::CheckTrace {
+            path: PathBuf::from(&rest[0]),
+        });
+    }
+    let profile = args.first().map(String::as_str) == Some("profile");
+    let args = if profile { &args[1..] } else { args };
 
     let mut full = false;
     let mut json = false;
     let mut out: Option<PathBuf> = None;
     let mut trace: Option<PathBuf> = None;
+    let mut chrome_trace: Option<PathBuf> = None;
     let mut jobs: usize = 1;
     let mut gnn_scale: Option<usize> = None;
     let mut dlr_scale: Option<usize> = None;
@@ -111,6 +160,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             "--json" => json = true,
             a if a == "--out" || a.starts_with("--out=") => {
                 out = Some(PathBuf::from(value_of("out")?));
+            }
+            a if a == "--chrome-trace" || a.starts_with("--chrome-trace=") => {
+                chrome_trace = Some(PathBuf::from(value_of("chrome-trace")?));
             }
             a if a == "--trace" || a.starts_with("--trace=") => {
                 trace = Some(PathBuf::from(value_of("trace")?));
@@ -141,6 +193,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     }
     if out.is_some() && !json {
         return Err("--out requires --json".to_string());
+    }
+    if profile && (json || trace.is_some() || chrome_trace.is_some()) {
+        return Err("`repro profile` renders to stdout; it takes no output flags".to_string());
+    }
+    if profile && targets.is_empty() {
+        return Err("`repro profile` expects at least one target".to_string());
     }
 
     if targets.is_empty() || targets.iter().any(|t| t == "list") {
@@ -183,5 +241,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         out,
         jobs,
         trace,
+        chrome_trace,
+        profile,
     }))
 }

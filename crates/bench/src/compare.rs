@@ -1,0 +1,228 @@
+//! Perf-regression comparison of artifact directories.
+//!
+//! `repro compare BASELINE NEW` diffs the `metrics` and `timeline`
+//! blocks of two artifact directories against per-metric relative
+//! tolerances and reports every drift beyond tolerance. Unlike
+//! `repro diff` (exact structural equality over whole artifacts), the
+//! comparison is *tolerant by design*: it gates CI against a committed
+//! baseline, where small intentional recalibrations should not fail the
+//! build but a real behaviour change — a link utilization collapsing, a
+//! stall window growing — should. The tolerance table is documented in
+//! EXPERIMENTS.md ("Comparing against a baseline").
+
+use crate::json::{self, Value};
+use std::io;
+use std::path::Path;
+
+/// Per-metric relative tolerances, matched by longest prefix. Metric
+/// names are `metrics.<block>.<name>` or `timeline.<field>` /
+/// `timeline.tracks.<track>.<field>` paths as produced by
+/// [`compare_dirs`].
+pub const TOLERANCES: &[(&str, f64)] = &[
+    // Simulator-derived times wobble with calibration tweaks; allow 5%.
+    ("metrics.counters.memsim.", 0.05),
+    ("metrics.counters.ugache.extract_secs", 0.05),
+    ("metrics.counters.extract.", 0.02),
+    ("metrics.histograms.", 0.05),
+    // Span-derived occupancy: busy time and utilization per track.
+    ("timeline.tracks.", 0.05),
+    ("timeline.extent_ns", 0.05),
+];
+
+/// Fallback relative tolerance for metrics without a table entry.
+pub const DEFAULT_TOLERANCE: f64 = 0.01;
+
+/// The relative tolerance for a metric path: the longest matching prefix
+/// from [`TOLERANCES`], or [`DEFAULT_TOLERANCE`].
+pub fn tolerance_for(path: &str) -> f64 {
+    TOLERANCES
+        .iter()
+        .filter(|(prefix, _)| path.starts_with(prefix))
+        .max_by_key(|(prefix, _)| prefix.len())
+        .map_or(DEFAULT_TOLERANCE, |(_, tol)| *tol)
+}
+
+/// Relative difference of two numbers: `|a - b| / max(|a|, |b|)`, with
+/// exact equality (including both zero) reading as 0.
+fn rel_diff(a: f64, b: f64) -> f64 {
+    if a == b {
+        return 0.0;
+    }
+    (a - b).abs() / a.abs().max(b.abs())
+}
+
+/// One numeric comparison point extracted from an artifact.
+fn collect_numbers(prefix: &str, v: &Value, out: &mut Vec<(String, f64)>) {
+    match v {
+        Value::Num(raw) => {
+            if let Ok(x) = raw.parse::<f64>() {
+                out.push((prefix.to_string(), x));
+            }
+        }
+        Value::Obj(fields) => {
+            for (k, val) in fields {
+                collect_numbers(&format!("{prefix}.{k}"), val, out);
+            }
+        }
+        Value::Arr(items) => {
+            for (i, val) in items.iter().enumerate() {
+                collect_numbers(&format!("{prefix}[{i}]"), val, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Comparison points of one parsed artifact: every number under its
+/// `metrics` block plus the timeline extent and per-track occupancy
+/// (`timeline.tracks.<track>.{spans,busy_ns,utilization}`; the bucket
+/// series is plot detail and not gated).
+fn comparison_points(artifact: &Value) -> Vec<(String, f64)> {
+    let mut points = Vec::new();
+    if let Some(metrics) = artifact.get("metrics") {
+        collect_numbers("metrics", metrics, &mut points);
+    }
+    if let Some(timeline) = artifact.get("timeline") {
+        if let Some(Value::Num(raw)) = timeline.get("extent_ns") {
+            if let Ok(x) = raw.parse::<f64>() {
+                points.push(("timeline.extent_ns".to_string(), x));
+            }
+        }
+        if let Some(Value::Arr(tracks)) = timeline.get("tracks") {
+            for t in tracks {
+                let Some(Value::Str(name)) = t.get("track") else {
+                    continue;
+                };
+                for field in ["spans", "busy_ns", "utilization"] {
+                    if let Some(Value::Num(raw)) = t.get(field) {
+                        if let Ok(x) = raw.parse::<f64>() {
+                            points.push((format!("timeline.tracks.{name}.{field}"), x));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    points
+}
+
+/// Lists the `.json` artifact file stems in `dir`, sorted.
+fn stems(dir: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) == Some("json") {
+            if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                out.push(stem.to_string());
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Compares the metric/timeline blocks of two artifact directories.
+///
+/// Every artifact present in `baseline` must exist in `new`; each of its
+/// comparison points must exist on both sides and agree within
+/// [`tolerance_for`] its path. Artifacts only in `new` are ignored (new
+/// targets are not regressions). Returns one human-readable line per
+/// violation; empty means the comparison passes.
+///
+/// # Errors
+///
+/// Returns any I/O error from listing directories or reading files.
+pub fn compare_dirs(baseline: &Path, new: &Path) -> io::Result<Vec<String>> {
+    let mut failures = Vec::new();
+    for stem in stems(baseline)? {
+        let file = format!("{stem}.json");
+        let base_text = std::fs::read_to_string(baseline.join(&file))?;
+        let Ok(base) = json::parse(&base_text) else {
+            failures.push(format!("{file}: baseline unparseable"));
+            continue;
+        };
+        if base.get("schema_version").is_none() {
+            continue; // not an artifact envelope
+        }
+        let new_path = new.join(&file);
+        let Ok(new_text) = std::fs::read_to_string(&new_path) else {
+            failures.push(format!("{file}: missing from {}", new.display()));
+            continue;
+        };
+        let Ok(fresh) = json::parse(&new_text) else {
+            failures.push(format!("{file}: new side unparseable"));
+            continue;
+        };
+        let base_points = comparison_points(&base);
+        let new_points = comparison_points(&fresh);
+        for (path, base_val) in &base_points {
+            let Some((_, new_val)) = new_points.iter().find(|(p, _)| p == path) else {
+                failures.push(format!("{file}: {path} missing from new run"));
+                continue;
+            };
+            let tol = tolerance_for(path);
+            let diff = rel_diff(*base_val, *new_val);
+            if diff > tol {
+                failures.push(format!(
+                    "{file}: {path} drifted {:.2}% (baseline {base_val}, new {new_val}, \
+                     tolerance {:.1}%)",
+                    diff * 100.0,
+                    tol * 100.0
+                ));
+            }
+        }
+    }
+    Ok(failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerance_prefers_longest_prefix() {
+        assert_eq!(tolerance_for("metrics.counters.memsim.extractions"), 0.05);
+        assert_eq!(
+            tolerance_for("metrics.counters.bench.computes"),
+            DEFAULT_TOLERANCE
+        );
+        assert_eq!(
+            tolerance_for("timeline.tracks.gpu0/link:pcie->host.utilization"),
+            0.05
+        );
+    }
+
+    #[test]
+    fn rel_diff_handles_zero() {
+        assert_eq!(rel_diff(0.0, 0.0), 0.0);
+        assert!((rel_diff(1.0, 1.02) - 0.02 / 1.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn points_extracted_from_envelope() {
+        let artifact = json::parse(
+            r#"{
+              "schema_version": 3,
+              "metrics": {"counters": {"a.b": 2}, "gauges": {}, "histograms": {}},
+              "timeline": {
+                "extent_ns": 100,
+                "tracks": [
+                  {"track": "gpu0", "spans": 1, "busy_ns": 50, "utilization": 0.5,
+                   "series": [1, 0]}
+                ]
+              }
+            }"#,
+        )
+        .unwrap();
+        let points = comparison_points(&artifact);
+        assert!(points
+            .iter()
+            .any(|(p, v)| p == "metrics.counters.a.b" && *v == 2.0));
+        assert!(points.iter().any(|(p, _)| p == "timeline.extent_ns"));
+        assert!(points
+            .iter()
+            .any(|(p, v)| p == "timeline.tracks.gpu0.utilization" && *v == 0.5));
+        // The bucket series is not gated.
+        assert!(!points.iter().any(|(p, _)| p.contains("series")));
+    }
+}

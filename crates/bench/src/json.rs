@@ -656,10 +656,26 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is valid UTF-8).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).expect("utf8");
-                    let c = rest.chars().next().expect("non-empty");
+                    // Consume one multi-byte UTF-8 scalar. Decode from a
+                    // bounded window — validating the whole remaining
+                    // input per character would make parsing quadratic.
+                    let window = &self.bytes[self.pos..(self.pos + 4).min(self.bytes.len())];
+                    let c = match std::str::from_utf8(window) {
+                        Ok(s) => s.chars().next().expect("non-empty"),
+                        // The window may cut a *following* scalar short;
+                        // the first one is whole because the input is a
+                        // valid &str.
+                        Err(e) => std::str::from_utf8(&window[..e.valid_up_to()])
+                            .expect("validated prefix")
+                            .chars()
+                            .next()
+                            .expect("non-empty"),
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

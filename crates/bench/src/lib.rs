@@ -10,11 +10,17 @@
 //! kernels (solver, extraction simulation, gathers) and the ablation
 //! sweeps called out in `DESIGN.md`.
 
+#![deny(missing_docs)]
+
 pub mod artifact;
+pub mod chrome;
 pub mod cli;
+pub mod compare;
 pub mod figures;
 pub mod json;
+pub mod profile;
 pub mod runner;
 pub mod scenario;
+pub mod timeline;
 
 pub use scenario::Scenario;

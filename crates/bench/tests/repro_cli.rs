@@ -132,7 +132,13 @@ fn units_fold_fig10_and_fig11_into_one_computation() {
 fn artifact_schema_round_trips() {
     let s = tiny();
     let result = Unit::Fig9.compute_with_telemetry(&s);
-    let artifact = Artifact::new("fig9", &s, result.data, Some(result.telemetry.metrics));
+    let artifact = Artifact::new(
+        "fig9",
+        &s,
+        result.data,
+        Some(result.telemetry.metrics),
+        None,
+    );
     let text = artifact.to_json();
     let v = json::parse(&text).expect("artifact parses");
     // Envelope fields, stable across runs and releases.
@@ -180,8 +186,22 @@ fn serial_and_parallel_runs_produce_identical_artifacts() {
     assert_eq!(serial.len(), parallel.len());
     for ((t, a), b) in targets.iter().zip(&serial).zip(&parallel) {
         // Artifact bytes — payload plus metrics block — must match.
-        let ja = Artifact::new(t, &s, a.data.clone(), Some(a.telemetry.metrics.clone())).to_json();
-        let jb = Artifact::new(t, &s, b.data.clone(), Some(b.telemetry.metrics.clone())).to_json();
+        let ja = Artifact::new(
+            t,
+            &s,
+            a.data.clone(),
+            Some(a.telemetry.metrics.clone()),
+            Some(ugache_bench::timeline::from_report(&a.telemetry)),
+        )
+        .to_json();
+        let jb = Artifact::new(
+            t,
+            &s,
+            b.data.clone(),
+            Some(b.telemetry.metrics.clone()),
+            Some(ugache_bench::timeline::from_report(&b.telemetry)),
+        )
+        .to_json();
         assert_eq!(ja, jb, "{t}: serial and parallel artifacts diverge");
         // The event streams must match line for line too.
         let ta: Vec<String> = a
@@ -277,9 +297,15 @@ fn check_dir_schema_refuses_stale_artifacts() {
 
     // A current-schema artifact passes; non-artifact JSON is ignored.
     let result = Unit::Fig9.compute_with_telemetry(&s);
-    Artifact::new("fig9", &s, result.data, Some(result.telemetry.metrics))
-        .write(&dir)
-        .unwrap();
+    Artifact::new(
+        "fig9",
+        &s,
+        result.data,
+        Some(result.telemetry.metrics),
+        None,
+    )
+    .write(&dir)
+    .unwrap();
     std::fs::write(dir.join("notes.json"), "{\"hello\": 1}\n").unwrap();
     assert!(check_dir_schema(&dir).is_ok());
 
@@ -308,17 +334,19 @@ fn diff_dirs_reports_and_clears() {
     let _ = std::fs::remove_dir_all(&base);
 
     let data = TargetData::Fig9(ugache_bench::figures::fig09::compute(&s));
-    Artifact::new("fig9", &s, data.clone(), None)
+    Artifact::new("fig9", &s, data.clone(), None, None)
         .write(&dir_a)
         .unwrap();
-    Artifact::new("fig9", &s, data, None).write(&dir_b).unwrap();
+    Artifact::new("fig9", &s, data, None, None)
+        .write(&dir_b)
+        .unwrap();
     assert!(diff_dirs(&dir_a, &dir_b).unwrap().is_empty());
 
     // A scenario change shows up as a structural difference.
     let mut s2 = s;
     s2.iters = 2;
     let data2 = TargetData::Fig9(ugache_bench::figures::fig09::compute(&s2));
-    Artifact::new("fig9", &s2, data2, None)
+    Artifact::new("fig9", &s2, data2, None, None)
         .write(&dir_b)
         .unwrap();
     let diffs = diff_dirs(&dir_a, &dir_b).unwrap();
@@ -329,7 +357,7 @@ fn diff_dirs_reports_and_clears() {
 
     // A file present on one side only is reported.
     let extra = TargetData::Table1(ugache_bench::figures::table1::compute(&s));
-    Artifact::new("table1", &s, extra, None)
+    Artifact::new("table1", &s, extra, None, None)
         .write(&dir_a)
         .unwrap();
     let diffs = diff_dirs(&dir_a, &dir_b).unwrap();

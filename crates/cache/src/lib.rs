@@ -21,6 +21,8 @@
 //!   design), kept so the static-vs-LRU comparison of §7.2 is measured
 //!   against a real implementation.
 
+#![deny(missing_docs)]
+
 pub mod arena;
 pub mod cache;
 pub mod lru;

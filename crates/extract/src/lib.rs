@@ -17,6 +17,8 @@
 //! message-based path uses an analytic phase model (bulk transfers are
 //! bandwidth-bound, not core-scheduling-bound).
 
+#![deny(missing_docs)]
+
 pub mod collective;
 pub mod mechanism;
 

@@ -105,24 +105,49 @@ impl Extractor {
 
     /// Extracts pre-computed per-source demands.
     pub fn extract_works(&self, works: &[GpuWork]) -> ExtractOutcome {
-        if emb_telemetry::enabled() {
-            // Per-tier byte totals, relative to each destination GPU:
-            // local HBM / peer NVLink / host PCIe (names in EXPERIMENTS.md).
-            let (mut local, mut remote, mut host) = (0.0f64, 0.0f64, 0.0f64);
+        let telemetry_on = emb_telemetry::enabled();
+        // Per-tier byte totals, relative to each destination GPU: local
+        // HBM / peer NVLink / host PCIe (names in EXPERIMENTS.md). Only
+        // computed when a telemetry scope is listening.
+        let mut tiers = [0.0f64; 3]; // local, remote, host
+        if telemetry_on {
             for w in works {
                 for d in &w.demands {
                     match d.src {
-                        Location::Gpu(j) if j == w.gpu => local += d.bytes,
-                        Location::Gpu(_) => remote += d.bytes,
-                        Location::Host => host += d.bytes,
+                        Location::Gpu(j) if j == w.gpu => tiers[0] += d.bytes,
+                        Location::Gpu(_) => tiers[1] += d.bytes,
+                        Location::Host => tiers[2] += d.bytes,
                     }
                 }
             }
             emb_telemetry::count("extract.calls", 1.0);
-            emb_telemetry::count("extract.bytes.local", local);
-            emb_telemetry::count("extract.bytes.remote", remote);
-            emb_telemetry::count("extract.bytes.host", host);
+            emb_telemetry::count("extract.bytes.local", tiers[0]);
+            emb_telemetry::count("extract.bytes.remote", tiers[1]);
+            emb_telemetry::count("extract.bytes.host", tiers[2]);
         }
+        let base_ns = emb_telemetry::clock_ns();
+        let outcome = self.dispatch(works);
+        if telemetry_on {
+            // One gather span per tier with traffic, spanning the whole
+            // extraction window on the scope clock (the mechanism advanced
+            // the clock past its makespan).
+            let end_ns = base_ns.saturating_add(outcome.makespan.as_nanos());
+            for (tier, bytes) in ["local", "remote", "host"].into_iter().zip(tiers) {
+                if bytes > 0.0 {
+                    let track = format!("extract/tier:{tier}");
+                    emb_telemetry::span(&track, "gather", base_ns, end_ns, || {
+                        vec![("bytes".to_string(), emb_telemetry::EventValue::F64(bytes))]
+                    });
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Runs the configured mechanism (no telemetry of its own; the
+    /// simulator and the message-based model record their spans and
+    /// advance the scope clock themselves).
+    fn dispatch(&self, works: &[GpuWork]) -> ExtractOutcome {
         match self.mechanism {
             Mechanism::PeerNaive { seed } => {
                 let r = simulate(
@@ -207,6 +232,31 @@ impl Extractor {
 
         let overhead = self.sim.launch_overhead.as_secs_f64() * 4.0;
         let total = t1 + t2 + t3 + t4 + overhead;
+
+        if emb_telemetry::enabled() {
+            // Phase spans back-to-back on the scope clock (each phase pays
+            // one launch overhead), then advance the clock past the call —
+            // mirroring what the event-driven simulator does for the peer
+            // mechanisms.
+            let mut cursor = emb_telemetry::clock_ns();
+            let launch = self.sim.launch_overhead.as_secs_f64();
+            for (name, secs) in [
+                ("gather", t1),
+                ("all_to_all", t2),
+                ("host_fill", t3),
+                ("reorder", t4),
+            ] {
+                let end = cursor.saturating_add(SimTime::from_secs_f64(secs + launch).as_nanos());
+                emb_telemetry::span("extract/phases", name, cursor, end, || {
+                    vec![(
+                        "secs".to_string(),
+                        emb_telemetry::EventValue::F64(secs + launch),
+                    )]
+                });
+                cursor = end;
+            }
+            emb_telemetry::advance_clock_ns(SimTime::from_secs_f64(total).as_nanos());
+        }
 
         // Per-GPU accounting: approximate each GPU's time by its own
         // phase contributions plus the global barriers it waits on.

@@ -11,7 +11,9 @@
 use crate::bandwidth::{effective_bw, CongestionModel};
 use crate::trace::{ExtractionTrace, TraceEvent};
 use emb_util::{split_seed, SimTime};
-use gpu_platform::{DedicationConfig, Interconnect, Location, PathSpec, Platform, Profile};
+use gpu_platform::{
+    DedicationConfig, Interconnect, Location, PathKind, PathSpec, Platform, Profile,
+};
 use rand::seq::SliceRandom;
 use std::collections::VecDeque;
 
@@ -474,6 +476,25 @@ fn run(
     // plain integer add so the disabled path stays free.
     let mut congestion_hits: u64 = 0;
     let mut egress_caps: u64 = 0;
+    // Simulated-time spans: per-link contiguous busy intervals and per-GPU
+    // partial-stall windows, positioned at the scope clock cursor so
+    // sequential simulate() calls inside one collect() stack on a single
+    // timeline. Everything span-related is guarded by `spans_on` so the
+    // disabled path stays allocation-free.
+    let spans_on = emb_telemetry::enabled();
+    let base_ns = emb_telemetry::clock_ns();
+    let mut xfer_open: Vec<Option<OpenXfer>> = Vec::new();
+    let mut grp_congest: Vec<u64> = Vec::new();
+    let mut grp_egress: Vec<u64> = Vec::new();
+    let mut stall_open: Vec<Option<OpenStall>> = Vec::new();
+    let mut gpu_active: Vec<usize> = Vec::new();
+    if spans_on {
+        xfer_open = (0..groups.len()).map(|_| None).collect();
+        grp_congest = vec![0; groups.len()];
+        grp_egress = vec![0; groups.len()];
+        stall_open = vec![None; platform.num_gpus()];
+        gpu_active = vec![0; platform.num_gpus()];
+    }
 
     loop {
         iterations += 1;
@@ -497,11 +518,62 @@ fn run(
             break;
         }
 
+        if spans_on {
+            // Open/close per-link busy intervals and per-GPU stall windows
+            // on active-set transitions; remaining opens are flushed after
+            // the loop at the final instant.
+            for (gi, g) in groups.iter().enumerate() {
+                match (&xfer_open[gi], g.active > 0) {
+                    (None, true) => {
+                        xfer_open[gi] = Some(OpenXfer {
+                            start: now,
+                            bytes0: g.bytes_done,
+                            congest0: grp_congest[gi],
+                            egress0: grp_egress[gi],
+                        });
+                    }
+                    (Some(open), false) => {
+                        emit_xfer_span(base_ns, g, open, now, grp_congest[gi], grp_egress[gi]);
+                        xfer_open[gi] = None;
+                    }
+                    _ => {}
+                }
+            }
+            for a in gpu_active.iter_mut() {
+                *a = 0;
+            }
+            for c in &cores {
+                if c.job.is_some() {
+                    gpu_active[c.gpu] += 1;
+                }
+            }
+            for gpu in 0..platform.num_gpus() {
+                let sm = platform.gpus[gpu].sm_count;
+                let partial = gpu_active[gpu] > 0 && gpu_active[gpu] < sm;
+                match (stall_open[gpu], partial) {
+                    (None, true) => {
+                        stall_open[gpu] = Some(OpenStall {
+                            start: now,
+                            idle_core_secs: 0.0,
+                        });
+                    }
+                    (Some(open), false) => {
+                        emit_stall_span(base_ns, gpu, &open, now);
+                        stall_open[gpu] = None;
+                    }
+                    _ => {}
+                }
+            }
+        }
+
         // Per-group raw rates from the congestion model.
-        for g in groups.iter_mut() {
+        for (gi, g) in groups.iter_mut().enumerate() {
             g.rate = effective_bw(g.path.bw, g.path.per_core_bw, g.active, cfg.congestion);
             if g.active as f64 * g.path.per_core_bw > g.path.bw {
                 congestion_hits += 1;
+                if spans_on {
+                    grp_congest[gi] += 1;
+                }
             }
         }
 
@@ -550,6 +622,9 @@ fn run(
                 let scale = eff_cap / demand;
                 for &i in &readers {
                     groups[i].rate *= scale;
+                    if spans_on {
+                        grp_egress[i] += 1;
+                    }
                 }
             }
         }
@@ -575,6 +650,14 @@ fn run(
             }
         }
         now += dt;
+        if spans_on {
+            for gpu in 0..platform.num_gpus() {
+                if let Some(open) = stall_open[gpu].as_mut() {
+                    let sm = platform.gpus[gpu].sm_count;
+                    open.idle_core_secs += sm.saturating_sub(gpu_active[gpu]) as f64 * dt;
+                }
+            }
+        }
         let mut finished: Vec<usize> = Vec::new();
         for (ci, c) in cores.iter_mut().enumerate() {
             if let Some((gi, rem)) = c.job.as_mut() {
@@ -609,6 +692,27 @@ fn run(
                 if cores[ci].job.is_some() {
                     job_start[ci] = now;
                 }
+            }
+        }
+    }
+
+    if spans_on {
+        // Flush intervals still open at the final instant.
+        for (gi, open) in xfer_open.iter().enumerate() {
+            if let Some(open) = open {
+                emit_xfer_span(
+                    base_ns,
+                    &groups[gi],
+                    open,
+                    now,
+                    grp_congest[gi],
+                    grp_egress[gi],
+                );
+            }
+        }
+        for (gpu, open) in stall_open.iter().enumerate() {
+            if let Some(open) = open {
+                emit_stall_span(base_ns, gpu, open, now);
             }
         }
     }
@@ -648,7 +752,139 @@ fn run(
         .unwrap_or(SimTime::ZERO);
     let result = ExtractionResult { makespan, per_gpu };
     record_telemetry(platform, &result, mode, congestion_hits, egress_caps);
+    if spans_on {
+        // One top-level span per GPU covering its whole extraction
+        // (including launch overhead), then advance the scope clock past
+        // this call so the next simulation starts after it.
+        for g in &result.per_gpu {
+            if g.time > SimTime::ZERO {
+                let track = format!("gpu{}", g.gpu);
+                let bytes: f64 = g.per_src.iter().map(|u| u.bytes).sum();
+                let sm = platform.gpus[g.gpu].sm_count as f64;
+                let util = if sm > 0.0 && g.time > SimTime::ZERO {
+                    g.core_busy.as_secs_f64() / (g.time.as_secs_f64() * sm)
+                } else {
+                    0.0
+                };
+                emb_telemetry::span(
+                    &track,
+                    "extract",
+                    base_ns,
+                    base_ns.saturating_add(g.time.as_nanos()),
+                    || {
+                        vec![
+                            ("bytes".to_string(), emb_telemetry::EventValue::F64(bytes)),
+                            (
+                                "core_util".to_string(),
+                                emb_telemetry::EventValue::F64(util),
+                            ),
+                        ]
+                    },
+                );
+            }
+        }
+        emb_telemetry::advance_clock_ns(result.makespan.as_nanos());
+    }
     (result, trace)
+}
+
+/// Per-link busy interval being accumulated for a span.
+struct OpenXfer {
+    /// Interval start (engine seconds).
+    start: f64,
+    /// `bytes_done` of the group at interval start.
+    bytes0: f64,
+    /// Group congestion-activation count at interval start.
+    congest0: u64,
+    /// Group egress-cap count at interval start.
+    egress0: u64,
+}
+
+/// Per-GPU partial-stall window being accumulated for a span.
+#[derive(Clone, Copy)]
+struct OpenStall {
+    /// Window start (engine seconds).
+    start: f64,
+    /// Idle core-seconds accumulated inside the window.
+    idle_core_secs: f64,
+}
+
+/// Engine seconds → scope-clock nanoseconds.
+fn secs_to_scope_ns(base_ns: u64, t: f64) -> u64 {
+    base_ns.saturating_add(SimTime::from_secs_f64(t).as_nanos())
+}
+
+/// Label for track names: `local` / `nvlink` / `nvswitch` / `pcie`.
+fn kind_label(kind: PathKind) -> &'static str {
+    match kind {
+        PathKind::Local => "local",
+        PathKind::NvLink => "nvlink",
+        PathKind::NvSwitch => "nvswitch",
+        PathKind::Pcie => "pcie",
+    }
+}
+
+/// Emits one `xfer` span for a closed per-link busy interval.
+fn emit_xfer_span(
+    base_ns: u64,
+    g: &Group,
+    open: &OpenXfer,
+    end: f64,
+    congest_now: u64,
+    egress_now: u64,
+) {
+    let bytes = g.bytes_done - open.bytes0;
+    let dur_s = end - open.start;
+    let track = format!(
+        "gpu{}/link:{}->{}",
+        g.gpu,
+        kind_label(g.path.kind),
+        loc_label(g.src)
+    );
+    emb_telemetry::span(
+        &track,
+        "xfer",
+        secs_to_scope_ns(base_ns, open.start),
+        secs_to_scope_ns(base_ns, end),
+        || {
+            vec![
+                ("bytes".to_string(), emb_telemetry::EventValue::F64(bytes)),
+                (
+                    "gbps".to_string(),
+                    emb_telemetry::EventValue::F64(if dur_s > 0.0 {
+                        bytes / dur_s / 1e9
+                    } else {
+                        0.0
+                    }),
+                ),
+                (
+                    "congestion_activations".to_string(),
+                    emb_telemetry::EventValue::U64(congest_now - open.congest0),
+                ),
+                (
+                    "egress_capped".to_string(),
+                    emb_telemetry::EventValue::U64(egress_now - open.egress0),
+                ),
+            ]
+        },
+    );
+}
+
+/// Emits one `stall` span for a closed per-GPU partial-stall window.
+fn emit_stall_span(base_ns: u64, gpu: usize, open: &OpenStall, end: f64) {
+    let track = format!("gpu{gpu}/cores");
+    emb_telemetry::span(
+        &track,
+        "stall",
+        secs_to_scope_ns(base_ns, open.start),
+        secs_to_scope_ns(base_ns, end),
+        || {
+            vec![(
+                "idle_core_secs".to_string(),
+                emb_telemetry::EventValue::F64(open.idle_core_secs),
+            )]
+        },
+    );
 }
 
 /// Label for metric names: `gpu3` / `host`.
@@ -1028,6 +1264,57 @@ mod tests {
                 .sum()
         };
         assert!((b(&with) - b(&without)).abs() < 1e3);
+    }
+
+    #[test]
+    fn spans_cover_extraction_and_stack_on_scope_clock() {
+        let p = Platform::server_c();
+        let works: Vec<GpuWork> = (0..2)
+            .map(|gpu| GpuWork {
+                gpu,
+                demands: vec![
+                    SourceDemand {
+                        src: Location::Gpu(gpu),
+                        bytes: 2e8,
+                    },
+                    SourceDemand {
+                        src: Location::Host,
+                        bytes: 5e7,
+                    },
+                ],
+            })
+            .collect();
+        let ((r1, r2), report) = emb_telemetry::collect(|| {
+            let r1 = simulate(&p, &cfg(), &works, DispatchMode::Sequential);
+            let r2 = simulate(&p, &cfg(), &works, DispatchMode::Sequential);
+            (r1, r2)
+        });
+        assert!(!report.spans.is_empty());
+        // Every track family is present.
+        assert!(report
+            .spans
+            .iter()
+            .any(|s| s.name == "xfer" && s.track.starts_with("gpu0/link:")));
+        assert!(report
+            .spans
+            .iter()
+            .any(|s| s.name == "extract" && s.track == "gpu0"));
+        // All spans are well-formed and lie inside the two-call horizon.
+        let horizon = r1.makespan.as_nanos() + r2.makespan.as_nanos();
+        for s in &report.spans {
+            assert!(s.end_ns >= s.start_ns, "span {} inverted", s.track);
+            assert!(s.end_ns <= horizon, "span {} beyond horizon", s.track);
+        }
+        // The second call's spans start at or after the first's makespan.
+        assert!(report
+            .spans
+            .iter()
+            .any(|s| s.start_ns >= r1.makespan.as_nanos()));
+        assert_eq!(report.clock_ns, horizon);
+        // Span recording must not perturb the simulation itself.
+        let bare = simulate(&p, &cfg(), &works, DispatchMode::Sequential);
+        assert_eq!(bare.makespan, r1.makespan);
+        assert_eq!(r1.makespan, r2.makespan);
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //! relaxation is usually the final answer and branch-and-bound is only
 //! exercised for per-entry "theoretically optimal" baselines (Figure 16).
 
+#![deny(missing_docs)]
+
 pub mod branch;
 pub mod model;
 pub mod simplex;

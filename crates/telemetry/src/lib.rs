@@ -79,6 +79,57 @@ pub struct Event {
     pub fields: Vec<(String, EventValue)>,
 }
 
+/// One simulated-time span, ordered by begin time within its [`collect`]
+/// scope.
+///
+/// Spans live on *tracks* — stable string ids such as
+/// `gpu0/link:nvlink->gpu1` or `gpu3/cores` — and carry start/end
+/// instants on the scope's simulated clock (see [`clock_ns`]), in
+/// nanoseconds. They are the raw material for timeline artifacts and the
+/// Chrome-trace export in `ugache-bench`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Position of this span in its scope's begin order, starting at 0.
+    pub seq: u64,
+    /// Track id, conventionally `<pid-group>/<sub-track>`.
+    pub track: String,
+    /// Span name, e.g. `xfer`, `stall`, `iteration`, `refresh`.
+    pub name: String,
+    /// Simulated start instant (scope clock, nanoseconds).
+    pub start_ns: u64,
+    /// Simulated end instant (scope clock, nanoseconds), `>= start_ns`.
+    pub end_ns: u64,
+    /// Named payload fields, in the order the recorder listed them.
+    pub fields: Vec<(String, EventValue)>,
+}
+
+impl Span {
+    /// Span duration in nanoseconds.
+    pub fn dur_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Handle for a span opened with [`span_begin`] and closed with
+/// [`span_end`].
+///
+/// The handle stays valid across nested [`collect`] scopes: ending a
+/// span that belongs to an outer scope from inside an inner one finds
+/// the right collector. A handle obtained while no scope was active is
+/// inert — [`span_end`] on it is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId {
+    /// Unique id of the owning scope (0 = no scope was active).
+    scope: u64,
+    /// Index into the owning scope's span list.
+    idx: usize,
+}
+
+impl SpanId {
+    /// The inert handle returned when recording is disabled.
+    const DISABLED: SpanId = SpanId { scope: 0, idx: 0 };
+}
+
 /// Count/sum/min/max digest of every [`observe`] call on one histogram.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct HistogramSummary {
@@ -163,25 +214,61 @@ pub struct Report {
     pub metrics: MetricsSnapshot,
     /// Trace events in record order (`seq` is the index).
     pub events: Vec<Event>,
+    /// Simulated-time spans in begin order (`seq` is the index). Spans
+    /// still open when the scope closed are force-closed at the latest
+    /// simulated instant the scope observed.
+    pub spans: Vec<Span>,
+    /// Final value of the scope's simulated clock (nanoseconds).
+    pub clock_ns: u64,
 }
 
 impl Report {
-    /// True when the scope recorded no metrics and no events.
+    /// True when the scope recorded no metrics, events, or spans.
     pub fn is_empty(&self) -> bool {
-        self.metrics.is_empty() && self.events.is_empty()
+        self.metrics.is_empty() && self.events.is_empty() && self.spans.is_empty()
     }
 }
 
 #[derive(Default)]
 struct Collector {
+    /// Unique id tying [`SpanId`] handles to this scope.
+    id: u64,
     counters: BTreeMap<String, f64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, HistogramSummary>,
     events: Vec<Event>,
+    spans: Vec<Span>,
+    /// Number of spans begun and not yet ended (open spans carry
+    /// `end_ns == u64::MAX` as an in-progress sentinel).
+    open_spans: usize,
+    clock_ns: u64,
 }
 
 impl Collector {
-    fn into_report(self) -> Report {
+    fn into_report(mut self) -> Report {
+        // Force-close any span left open (e.g. a lifecycle span whose end
+        // condition never fired before the scope ended) at the latest
+        // instant the scope saw, so reports always hold well-formed spans.
+        if self.open_spans > 0 {
+            let horizon = self
+                .spans
+                .iter()
+                .map(|s| {
+                    if s.end_ns == u64::MAX {
+                        s.start_ns
+                    } else {
+                        s.end_ns
+                    }
+                })
+                .max()
+                .unwrap_or(0)
+                .max(self.clock_ns);
+            for s in self.spans.iter_mut() {
+                if s.end_ns == u64::MAX {
+                    s.end_ns = s.start_ns.max(horizon);
+                }
+            }
+        }
         Report {
             metrics: MetricsSnapshot {
                 counters: self.counters.into_iter().collect(),
@@ -189,12 +276,16 @@ impl Collector {
                 histograms: self.histograms.into_iter().collect(),
             },
             events: self.events,
+            spans: self.spans,
+            clock_ns: self.clock_ns,
         }
     }
 }
 
 thread_local! {
     static STACK: RefCell<Vec<Collector>> = const { RefCell::new(Vec::new()) };
+    /// Monotonic source of scope ids; 0 is reserved for "no scope".
+    static NEXT_SCOPE_ID: std::cell::Cell<u64> = const { std::cell::Cell::new(1) };
 }
 
 /// Pops the collector pushed by [`collect`] even if the closure panics,
@@ -220,7 +311,17 @@ impl Drop for ScopeGuard {
 /// Propagates any panic from `f` (after unwinding the scope, so the
 /// thread's telemetry stack stays usable).
 pub fn collect<R>(f: impl FnOnce() -> R) -> (R, Report) {
-    STACK.with(|s| s.borrow_mut().push(Collector::default()));
+    let id = NEXT_SCOPE_ID.with(|n| {
+        let id = n.get();
+        n.set(id.wrapping_add(1).max(1));
+        id
+    });
+    STACK.with(|s| {
+        s.borrow_mut().push(Collector {
+            id,
+            ..Collector::default()
+        })
+    });
     let guard = ScopeGuard;
     let result = f();
     std::mem::forget(guard);
@@ -293,6 +394,103 @@ pub fn event(name: &str, fields: impl FnOnce() -> Vec<(String, EventValue)>) {
             name: name.to_string(),
             fields: fields(),
         });
+    });
+}
+
+/// The active scope's simulated clock cursor in nanoseconds (0 when no
+/// scope is active).
+///
+/// The cursor is how independent instrumented computations lay out
+/// sequentially on one scope timeline: code that simulates a window of
+/// virtual time reads the cursor as its base instant, records spans at
+/// `base + offset`, and [`advance_clock_ns`]-es the cursor past the
+/// window when done.
+pub fn clock_ns() -> u64 {
+    STACK.with(|s| s.borrow().last().map_or(0, |c| c.clock_ns))
+}
+
+/// Advances the active scope's simulated clock by `delta_ns`
+/// (saturating); no-op when no scope is active.
+pub fn advance_clock_ns(delta_ns: u64) {
+    with_active(|c| c.clock_ns = c.clock_ns.saturating_add(delta_ns));
+}
+
+/// Records a completed simulated-time span on `track`; `fields` is only
+/// invoked when a scope is active. `end_ns` is clamped up to `start_ns`
+/// so spans never have negative duration. No-op when no scope is active.
+pub fn span(
+    track: &str,
+    name: &str,
+    start_ns: u64,
+    end_ns: u64,
+    fields: impl FnOnce() -> Vec<(String, EventValue)>,
+) {
+    with_active(|c| {
+        let seq = c.spans.len() as u64;
+        c.spans.push(Span {
+            seq,
+            track: track.to_string(),
+            name: name.to_string(),
+            start_ns,
+            end_ns: end_ns.max(start_ns),
+            fields: fields(),
+        });
+    });
+}
+
+/// Opens a span on `track` at `start_ns` and returns a handle for
+/// [`span_end`].
+///
+/// When no scope is active the returned handle is inert and nothing is
+/// recorded (or allocated). A span still open when its scope closes is
+/// force-closed at the latest simulated instant the scope observed —
+/// see [`Report::spans`].
+pub fn span_begin(track: &str, name: &str, start_ns: u64) -> SpanId {
+    let mut id = SpanId::DISABLED;
+    with_active(|c| {
+        let seq = c.spans.len() as u64;
+        id = SpanId {
+            scope: c.id,
+            idx: c.spans.len(),
+        };
+        c.open_spans += 1;
+        c.spans.push(Span {
+            seq,
+            track: track.to_string(),
+            name: name.to_string(),
+            start_ns,
+            end_ns: u64::MAX,
+            fields: Vec::new(),
+        });
+    });
+    id
+}
+
+/// Closes the span opened as `id` at `end_ns` (clamped up to the span's
+/// start), appending any `fields` the closer supplies.
+///
+/// Finds the owning scope even from inside a nested [`collect`] — a
+/// lifecycle span begun in an outer scope can be ended while an inner
+/// scope is active. No-op when the handle is inert, the owning scope is
+/// gone, or the span was already ended.
+pub fn span_end(id: SpanId, end_ns: u64, fields: impl FnOnce() -> Vec<(String, EventValue)>) {
+    if id.scope == 0 {
+        return;
+    }
+    STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        let Some(c) = stack.iter_mut().rev().find(|c| c.id == id.scope) else {
+            return;
+        };
+        let Some(span) = c.spans.get_mut(id.idx) else {
+            return;
+        };
+        if span.end_ns != u64::MAX {
+            return; // already closed
+        }
+        span.end_ns = end_ns.max(span.start_ns);
+        span.fields = fields();
+        c.open_spans -= 1;
     });
 }
 
@@ -373,12 +571,121 @@ mod tests {
     }
 
     #[test]
+    fn spans_record_in_begin_order_with_clock() {
+        let ((), report) = collect(|| {
+            assert_eq!(clock_ns(), 0);
+            span("gpu0/link:nvlink->gpu1", "xfer", 0, 250, || {
+                vec![("bytes".to_string(), EventValue::U64(4096))]
+            });
+            advance_clock_ns(1_000);
+            span("gpu0/cores", "stall", clock_ns(), clock_ns() + 50, Vec::new);
+            assert_eq!(clock_ns(), 1_000);
+        });
+        assert_eq!(report.spans.len(), 2);
+        assert_eq!(report.spans[0].seq, 0);
+        assert_eq!(report.spans[0].track, "gpu0/link:nvlink->gpu1");
+        assert_eq!(report.spans[0].dur_ns(), 250);
+        assert_eq!(report.spans[1].start_ns, 1_000);
+        assert_eq!(report.spans[1].end_ns, 1_050);
+        assert_eq!(report.clock_ns, 1_000);
+    }
+
+    #[test]
+    fn interleaved_open_spans_close_independently() {
+        let ((), report) = collect(|| {
+            let a = span_begin("t", "a", 0);
+            let b = span_begin("t", "b", 10);
+            span_end(a, 30, || vec![("k".to_string(), EventValue::U64(1))]);
+            span_end(b, 20, Vec::new);
+            // Double-close is a no-op.
+            span_end(a, 99, Vec::new);
+        });
+        assert_eq!(report.spans.len(), 2);
+        assert_eq!((report.spans[0].start_ns, report.spans[0].end_ns), (0, 30));
+        assert_eq!(report.spans[0].fields.len(), 1);
+        assert_eq!((report.spans[1].start_ns, report.spans[1].end_ns), (10, 20));
+    }
+
+    #[test]
+    fn outer_scope_span_ends_from_inside_nested_scope() {
+        let ((), outer) = collect(|| {
+            let id = span_begin("outer/track", "lifecycle", 5);
+            let ((), inner) = collect(|| {
+                span("inner/track", "work", 0, 1, Vec::new);
+                span_end(id, 40, Vec::new);
+            });
+            assert_eq!(inner.spans.len(), 1, "inner scope sees only its own span");
+        });
+        assert_eq!(outer.spans.len(), 1);
+        assert_eq!(outer.spans[0].end_ns, 40);
+    }
+
+    #[test]
+    fn open_spans_are_force_closed_at_scope_horizon() {
+        let ((), report) = collect(|| {
+            let _never_ended = span_begin("t", "open", 100);
+            span("t", "done", 0, 500, Vec::new);
+            advance_clock_ns(700);
+        });
+        assert_eq!(report.spans.len(), 2);
+        // Horizon = max(latest end, clock) = 700.
+        assert_eq!(report.spans[0].end_ns, 700);
+    }
+
+    #[test]
+    fn negative_duration_is_clamped_to_zero() {
+        let ((), report) = collect(|| {
+            span("t", "s", 50, 10, Vec::new);
+            let id = span_begin("t", "g", 80);
+            span_end(id, 20, Vec::new);
+        });
+        assert_eq!(report.spans[0].end_ns, 50);
+        assert_eq!(report.spans[1].end_ns, 80);
+    }
+
+    #[test]
+    fn disabled_span_handle_is_inert() {
+        let id = span_begin("t", "s", 0);
+        span_end(id, 10, Vec::new);
+        advance_clock_ns(1_000);
+        assert_eq!(clock_ns(), 0);
+        let ((), report) = collect(|| {});
+        assert!(report.spans.is_empty());
+        assert_eq!(report.clock_ns, 0);
+    }
+
+    #[test]
+    fn stale_span_handle_after_panic_is_a_noop() {
+        let caught = std::panic::catch_unwind(|| {
+            collect(|| {
+                let id = span_begin("t", "s", 0);
+                // Leak the id out via the panic payload path: just panic —
+                // the scope (and its spans) are discarded on unwind.
+                let _ = id;
+                panic!("boom");
+            })
+        });
+        assert!(caught.is_err());
+        assert!(!enabled(), "panicked scope must pop its collector");
+        // A fresh scope gets a fresh id; ending a span from a dead scope
+        // inside it must not touch the new collector.
+        let ((), report) = collect(|| {
+            let live = span_begin("t", "live", 0);
+            span_end(live, 10, Vec::new);
+        });
+        assert_eq!(report.spans.len(), 1);
+        assert_eq!(report.spans[0].end_ns, 10);
+    }
+
+    #[test]
     fn identical_computations_produce_identical_reports() {
         let run = || {
             collect(|| {
                 for i in 0..5 {
                     count("c", i as f64);
                     observe("h", (i * i) as f64);
+                    span("t", "step", i * 10, i * 10 + 5, Vec::new);
+                    advance_clock_ns(10);
                 }
                 event("done", || vec![("n".to_string(), EventValue::U64(5))]);
             })

@@ -16,6 +16,8 @@
 //! sampling cost models. [`framework`] exposes the embedding-layer
 //! integration surface (§7.1) in TensorFlow-ish and PyTorch-ish flavours.
 
+#![deny(missing_docs)]
+
 pub mod apps;
 pub mod baselines;
 pub mod framework;

@@ -61,6 +61,9 @@ pub struct UGache {
     cap_entries: Vec<usize>,
     predicted_secs: f64,
     clock: f64,
+    /// Open telemetry span for an in-flight refresh (inert when no scope
+    /// was active at refresh start).
+    refresh_span: Option<emb_telemetry::SpanId>,
 }
 
 impl UGache {
@@ -105,6 +108,7 @@ impl UGache {
             cap_entries,
             predicted_secs: solved.predicted_secs,
             clock: 0.0,
+            refresh_span: None,
         })
     }
 
@@ -147,6 +151,7 @@ impl UGache {
         for keys in keys_per_gpu {
             self.sampler.observe(keys);
         }
+        let base_ns = emb_telemetry::clock_ns();
         let mut outcome = self.extractor.extract(
             self.cache.placement(),
             keys_per_gpu,
@@ -154,15 +159,38 @@ impl UGache {
         );
         let slowdown = self.refresher.slowdown();
         if slowdown > 1.0 {
+            let unadjusted = outcome.makespan;
             outcome.makespan = outcome.makespan.mul_f64(slowdown);
             for g in outcome.per_gpu.iter_mut() {
                 g.time = g.time.mul_f64(slowdown);
             }
+            // The extractor advanced the scope clock by the raw makespan;
+            // push it past the refresh-induced slowdown too so the
+            // iteration span covers the adjusted window.
+            emb_telemetry::advance_clock_ns((outcome.makespan - unadjusted).as_nanos());
         }
         self.clock += outcome.makespan.as_secs_f64();
         let refresh_active = self.refresher.active();
         let clock = self.clock;
-        self.refresher.tick(clock, &mut self.cache);
+        self.tick_refresher();
+        emb_telemetry::span(
+            "ugache/iterations",
+            "iteration",
+            base_ns,
+            emb_telemetry::clock_ns(),
+            || {
+                vec![
+                    (
+                        "extract_secs".to_string(),
+                        emb_telemetry::EventValue::F64(outcome.makespan.as_secs_f64()),
+                    ),
+                    (
+                        "refresh_active".to_string(),
+                        emb_telemetry::EventValue::U64(u64::from(refresh_active)),
+                    ),
+                ]
+            },
+        );
         emb_telemetry::count("ugache.iterations", 1.0);
         emb_telemetry::count("ugache.extract_secs", outcome.makespan.as_secs_f64());
         emb_telemetry::event("ugache.iteration", || {
@@ -192,8 +220,23 @@ impl UGache {
     /// compute time), still ticking the refresher.
     pub fn advance_clock(&mut self, secs: f64) {
         self.clock += secs;
-        let clock = self.clock;
-        self.refresher.tick(clock, &mut self.cache);
+        emb_telemetry::advance_clock_ns(emb_util::SimTime::from_secs_f64(secs).as_nanos());
+        self.tick_refresher();
+    }
+
+    /// Ticks the refresher at the current virtual time and closes the
+    /// refresh lifecycle span when the tick completes a refresh.
+    fn tick_refresher(&mut self) {
+        let was_active = self.refresher.active();
+        self.refresher.tick(self.clock, &mut self.cache);
+        if was_active && !self.refresher.active() {
+            if let Some(id) = self.refresh_span.take() {
+                let secs = self.refresher.history.last().copied().unwrap_or(0.0);
+                emb_telemetry::span_end(id, emb_telemetry::clock_ns(), || {
+                    vec![("secs".to_string(), emb_telemetry::EventValue::F64(secs))]
+                });
+            }
+        }
     }
 
     /// Re-solves the policy against freshly sampled hotness and starts a
@@ -239,6 +282,11 @@ impl UGache {
                 .begin(self.clock, self.cache.placement(), solved.placement);
             self.predicted_secs = solved.predicted_secs;
             self.sampler.reset();
+            self.refresh_span = Some(emb_telemetry::span_begin(
+                "ugache/refresh",
+                "refresh",
+                emb_telemetry::clock_ns(),
+            ));
             emb_telemetry::count("ugache.refreshes", 1.0);
             emb_telemetry::event("ugache.refresh_started", || {
                 vec![
@@ -327,6 +375,48 @@ mod tests {
             assert!(guard < 1_000, "refresh stuck");
         }
         assert_eq!(u.refresh_history().len(), 1);
+    }
+
+    #[test]
+    fn refresh_lifecycle_and_iteration_spans_are_recorded() {
+        let ((), report) = emb_telemetry::collect(|| {
+            let mut u = build();
+            let keys: Vec<Vec<u32>> = (0..4)
+                .map(|_| (0..300u32).map(|k| (N as u32 - 1) - (k % 1000)).collect())
+                .collect();
+            for _ in 0..3 {
+                u.process_iteration(&keys);
+            }
+            u.consider_refresh(true).unwrap();
+            let mut guard = 0;
+            while u.refresh_active() {
+                u.advance_clock(1.0);
+                guard += 1;
+                assert!(guard < 1_000, "refresh stuck");
+            }
+        });
+        let iterations: Vec<_> = report
+            .spans
+            .iter()
+            .filter(|s| s.track == "ugache/iterations")
+            .collect();
+        assert_eq!(iterations.len(), 3);
+        // Iterations are contiguous on the scope clock: each starts where
+        // the previous ended.
+        for w in iterations.windows(2) {
+            assert_eq!(w[0].end_ns, w[1].start_ns);
+        }
+        let refresh: Vec<_> = report
+            .spans
+            .iter()
+            .filter(|s| s.track == "ugache/refresh")
+            .collect();
+        assert_eq!(refresh.len(), 1);
+        assert!(refresh[0].end_ns > refresh[0].start_ns);
+        assert!(
+            refresh[0].fields.iter().any(|(k, _)| k == "secs"),
+            "closed refresh span carries its duration"
+        );
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! reports with, and [`time`] defines the fixed-point simulated-time type
 //! used by the platform simulator.
 
+#![deny(missing_docs)]
+
 pub mod fmt;
 pub mod rng;
 pub mod stats;

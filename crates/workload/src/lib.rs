@@ -14,6 +14,8 @@
 //! * [`datasets`] — the six named presets of Table 3 with a configurable
 //!   scale divisor.
 
+#![deny(missing_docs)]
+
 pub mod datasets;
 pub mod dlr;
 pub mod gnn;
