@@ -7,6 +7,8 @@
 //! repro profile [--full] [--jobs N] <target>...
 //! repro diff <dir-a> <dir-b>
 //! repro compare <baseline-dir> <new-dir>
+//! repro compare <baseline-bench.json> <new-bench.json>
+//! repro bench [--trials N] [--warmup N] [--out FILE] [NAME...]
 //! repro check-trace <trace.json>
 //! repro list
 //! repro all
@@ -30,6 +32,11 @@
 //! directories; `repro compare` gates a fresh directory against a
 //! baseline using per-metric tolerances (non-zero exit on regression);
 //! `repro check-trace` validates a Chrome trace file structurally.
+//! `repro bench` times the optimized hot paths against their frozen
+//! reference implementations (wall clock; simulated results are
+//! asserted identical) and writes a `BENCH_*.json` report with `--out`;
+//! pointing `repro compare` at two such `.json` files applies the soft
+//! wall-clock gate instead of the artifact tolerance table.
 
 use ugache_bench::artifact::{
     check_dir_schema, diff_dirs, trace_header, trace_line, Artifact, TargetData,
@@ -37,7 +44,7 @@ use ugache_bench::artifact::{
 use ugache_bench::cli::{self, Command, RunSpec};
 use ugache_bench::figures::*;
 use ugache_bench::runner::{run_units, units_for, Unit, UnitResult};
-use ugache_bench::{chrome, compare, json, profile, timeline, Scenario};
+use ugache_bench::{chrome, compare, json, microbench, profile, timeline, Scenario};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,6 +65,11 @@ fn main() {
             println!("       repro profile [--full] [--jobs N] <target>...");
             println!("       repro diff <dir-a> <dir-b>");
             println!("       repro compare <baseline-dir> <new-dir>");
+            println!("       repro compare <baseline-bench.json> <new-bench.json>");
+            println!(
+                "       repro bench [--trials N] [--warmup N] [--out FILE] [{}]",
+                microbench::BENCH_NAMES.join("|")
+            );
             println!("       repro check-trace <trace.json>");
         }
         Command::Diff { a, b } => {
@@ -78,6 +90,36 @@ fn main() {
             }
         }
         Command::Compare { baseline, new } => {
+            // Two `.json` files = bench reports (soft wall-clock gate);
+            // anything else = artifact directories (tolerance table).
+            let bench_mode = baseline.extension().is_some_and(|e| e == "json")
+                && new.extension().is_some_and(|e| e == "json");
+            if bench_mode {
+                let (warnings, failures) = match microbench::compare_files(&baseline, &new) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("bench compare failed: {e}");
+                        std::process::exit(2);
+                    }
+                };
+                for w in &warnings {
+                    println!("{w}");
+                }
+                if failures.is_empty() {
+                    println!(
+                        "no large wall-clock regressions against {} (soft gate; \
+                         see EXPERIMENTS.md)",
+                        baseline.display()
+                    );
+                } else {
+                    for f in &failures {
+                        println!("{f}");
+                    }
+                    eprintln!("{} large wall-clock regression(s)", failures.len());
+                    std::process::exit(1);
+                }
+                return;
+            }
             let failures = match compare::compare_dirs(&baseline, &new) {
                 Ok(f) => f,
                 Err(e) => {
@@ -122,6 +164,32 @@ fn main() {
                 }
                 eprintln!("{} structural error(s)", errors.len());
                 std::process::exit(1);
+            }
+        }
+        Command::Bench {
+            names,
+            trials,
+            warmup,
+            out,
+        } => {
+            let report = match microbench::run_benches(&names, trials, warmup) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            };
+            microbench::render(&report);
+            if let Some(path) = out.as_deref() {
+                let mut text = json::to_string_pretty(&report).expect("bench report serializes");
+                text.push('\n');
+                match std::fs::write(path, text) {
+                    Ok(()) => println!("wrote {}", path.display()),
+                    Err(e) => {
+                        eprintln!("failed to write bench report {}: {e}", path.display());
+                        std::process::exit(2);
+                    }
+                }
             }
         }
         Command::Run(spec) => run(&spec),

@@ -48,7 +48,9 @@ pub enum Command {
         b: PathBuf,
     },
     /// Compare two artifact directories' metric/timeline blocks against
-    /// the perf-regression tolerance table.
+    /// the perf-regression tolerance table. When both paths are
+    /// `BENCH_*.json` files, the binary applies the soft wall-clock gate
+    /// ([`crate::microbench::compare_files`]) instead.
     Compare {
         /// Baseline directory (committed reference).
         baseline: PathBuf,
@@ -59,6 +61,17 @@ pub enum Command {
     CheckTrace {
         /// The trace file to validate.
         path: PathBuf,
+    },
+    /// Run the wall-clock microbenches (`repro bench`).
+    Bench {
+        /// Bench names in requested order (empty = all).
+        names: Vec<String>,
+        /// Timed trials per implementation.
+        trials: usize,
+        /// Untimed warmup runs per implementation.
+        warmup: usize,
+        /// Where to write the bench report, if requested.
+        out: Option<PathBuf>,
     },
     /// Compute (and render or serialize) targets.
     Run(RunSpec),
@@ -79,8 +92,9 @@ fn parse_scale(name: &str, value: &str) -> Result<usize, String> {
 /// `--trace FILE` requests the telemetry event stream (JSONL) and
 /// `--chrome-trace FILE` the Chrome trace-event span export; both work
 /// with the render and `--json` output modes. The `profile`, `compare`,
-/// and `check-trace` subcommands map to [`Command::Run`] with
-/// `profile` set, [`Command::Compare`], and [`Command::CheckTrace`].
+/// `check-trace`, and `bench` subcommands map to [`Command::Run`] with
+/// `profile` set, [`Command::Compare`], [`Command::CheckTrace`], and
+/// [`Command::Bench`] (`--trials N --warmup N --out FILE [NAME...]`).
 ///
 /// # Errors
 ///
@@ -117,6 +131,59 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         return Ok(Command::Compare {
             baseline: PathBuf::from(&rest[0]),
             new: PathBuf::from(&rest[1]),
+        });
+    }
+    if args.first().map(String::as_str) == Some("bench") {
+        let rest = &args[1..];
+        let mut trials = crate::microbench::DEFAULT_TRIALS;
+        let mut warmup = crate::microbench::DEFAULT_WARMUP;
+        let mut out: Option<PathBuf> = None;
+        let mut names: Vec<String> = Vec::new();
+        let mut i = 0;
+        while i < rest.len() {
+            let arg = &rest[i];
+            let mut value_of = |name: &str| -> Result<String, String> {
+                if let Some(v) = arg.strip_prefix(&format!("--{name}=")) {
+                    return Ok(v.to_string());
+                }
+                i += 1;
+                rest.get(i)
+                    .cloned()
+                    .ok_or_else(|| format!("--{name} expects a value"))
+            };
+            match arg.as_str() {
+                a if a == "--trials" || a.starts_with("--trials=") => {
+                    trials = parse_scale("trials", &value_of("trials")?)?;
+                }
+                a if a == "--warmup" || a.starts_with("--warmup=") => {
+                    let v = value_of("warmup")?;
+                    warmup = v
+                        .parse::<usize>()
+                        .map_err(|_| format!("--warmup expects an unsigned integer, got `{v}`"))?;
+                }
+                a if a == "--out" || a.starts_with("--out=") => {
+                    out = Some(PathBuf::from(value_of("out")?));
+                }
+                a if a.starts_with("--") => {
+                    return Err(format!("unknown flag `{a}` for `repro bench`"));
+                }
+                _ => names.push(arg.clone()),
+            }
+            i += 1;
+        }
+        for n in &names {
+            if !crate::microbench::BENCH_NAMES.contains(&n.as_str()) {
+                return Err(format!(
+                    "unknown bench `{n}`; available: {}",
+                    crate::microbench::BENCH_NAMES.join(" ")
+                ));
+            }
+        }
+        return Ok(Command::Bench {
+            names,
+            trials,
+            warmup,
+            out,
         });
     }
     if args.first().map(String::as_str) == Some("check-trace") {

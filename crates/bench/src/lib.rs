@@ -8,7 +8,9 @@
 //! artifact per target via [`artifact`]. Criterion benches under
 //! `benches/` measure the wall-clock cost of the implementation's own
 //! kernels (solver, extraction simulation, gathers) and the ablation
-//! sweeps called out in `DESIGN.md`.
+//! sweeps called out in `DESIGN.md`; [`microbench`] (`repro bench`)
+//! measures the optimized hot paths against their frozen reference
+//! implementations and feeds the soft wall-clock gate.
 
 #![deny(missing_docs)]
 
@@ -18,6 +20,7 @@ pub mod cli;
 pub mod compare;
 pub mod figures;
 pub mod json;
+pub mod microbench;
 pub mod profile;
 pub mod runner;
 pub mod scenario;

@@ -1,0 +1,485 @@
+//! Wall-clock microbenchmarks for the optimized hot paths, plus the
+//! soft bench-file regression gate (`repro bench` / `repro compare A.json
+//! B.json`).
+//!
+//! Each microbench runs a *frozen reference* implementation and the
+//! optimized implementation on identical deterministic inputs (fixed
+//! seeds, fixed sizes), asserts outside the timed region that both
+//! produce the same answer, and then times repeated trials of each. The
+//! report records per-trial wall-clock seconds and the min-based speedup
+//! (`ref_min_secs / opt_min_secs`); minima are the standard robust
+//! estimator for "how fast can this code go" under scheduler noise.
+//!
+//! This module is the repro harness's **only sanctioned wall-clock
+//! surface**: simulated results stay byte-deterministic (the equality
+//! asserts pin that), and the measured seconds go into a separate
+//! `BENCH_*.json` file that is gated *softly* — `compare_files` fails
+//! only on large regressions (see [`REGRESSION_FACTOR`] /
+//! [`SPEEDUP_LOSS_FACTOR`]), because absolute wall-clock varies across
+//! machines and CI runners. Library crates remain free of wall-clock
+//! reads.
+
+use crate::json::{self, Value};
+use serde::Serialize;
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+
+/// Schema version of the bench report file (independent of the artifact
+/// schema; bump on shape changes).
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// The `kind` discriminator of bench report files.
+pub const BENCH_KIND: &str = "ugache-bench";
+
+/// Every microbench name, in canonical execution order.
+pub const BENCH_NAMES: &[&str] = &["gather", "memsim_step", "simplex_pivot"];
+
+/// Default timed trials per implementation.
+pub const DEFAULT_TRIALS: usize = 5;
+
+/// Default untimed warmup runs per implementation.
+pub const DEFAULT_WARMUP: usize = 2;
+
+/// Hard-fail when the optimized path's best trial is this many times
+/// slower than the committed baseline's.
+pub const REGRESSION_FACTOR: f64 = 2.5;
+
+/// Hard-fail when the measured speedup falls below `baseline / this`.
+pub const SPEEDUP_LOSS_FACTOR: f64 = 2.5;
+
+/// Print a (non-failing) warning when the optimized path's best trial is
+/// this many times slower than the baseline's.
+pub const WARN_FACTOR: f64 = 1.25;
+
+/// One microbench's timings.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchEntry {
+    /// Microbench name (one of [`BENCH_NAMES`]).
+    pub name: String,
+    /// Per-trial wall-clock seconds of the frozen reference path.
+    pub ref_secs: Vec<f64>,
+    /// Per-trial wall-clock seconds of the optimized path.
+    pub opt_secs: Vec<f64>,
+    /// Fastest reference trial.
+    pub ref_min_secs: f64,
+    /// Fastest optimized trial.
+    pub opt_min_secs: f64,
+    /// `ref_min_secs / opt_min_secs`.
+    pub speedup: f64,
+}
+
+/// The whole bench report (serialized to `BENCH_*.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    /// [`BENCH_SCHEMA_VERSION`].
+    pub schema_version: u64,
+    /// [`BENCH_KIND`].
+    pub kind: String,
+    /// Timed trials per implementation.
+    pub trials: usize,
+    /// Untimed warmup runs per implementation.
+    pub warmup: usize,
+    /// One entry per requested microbench, in request order.
+    pub benches: Vec<BenchEntry>,
+}
+
+/// Times `trials` runs of `f` after `warmup` untimed runs.
+fn time_trials(trials: usize, warmup: usize, mut f: impl FnMut()) -> Vec<f64> {
+    for _ in 0..warmup {
+        f();
+    }
+    (0..trials)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect()
+}
+
+fn entry(name: &str, ref_secs: Vec<f64>, opt_secs: Vec<f64>) -> BenchEntry {
+    let ref_min_secs = ref_secs.iter().copied().fold(f64::INFINITY, f64::min);
+    let opt_min_secs = opt_secs.iter().copied().fold(f64::INFINITY, f64::min);
+    BenchEntry {
+        name: name.to_string(),
+        ref_secs,
+        opt_secs,
+        ref_min_secs,
+        opt_min_secs,
+        speedup: ref_min_secs / opt_min_secs,
+    }
+}
+
+/// The f32 gather path: per-key `HashMap` probe + per-row copy
+/// (reference) vs the two-pass plan-then-copy gather.
+fn bench_gather(trials: usize, warmup: usize) -> BenchEntry {
+    use cache_policy::{baselines, Hotness};
+    use emb_cache::{HostTable, MultiGpuCache, ReferenceGatherer};
+    use emb_util::zipf::powerlaw_hotness;
+    use gpu_platform::Platform;
+
+    // Small rows (DLR-style embeddings) keep the copy cheap and the
+    // 160k-entry location maps spill out of fast cache levels, so the
+    // per-key lookup cost the optimization removes dominates the timing.
+    let plat = Platform::server_a();
+    let n = 400_000usize;
+    let dim = 8;
+    let h = Hotness::new(powerlaw_hotness(n, 1.2));
+    let placement = baselines::partition(&plat, &h, 40_000).expect("partition fits");
+    let cache = MultiGpuCache::build(HostTable::dense(n, dim), &placement, &[40_000; 4]);
+    let reference = ReferenceGatherer::new(&cache);
+
+    let zipf = emb_util::ZipfSampler::new(n as u64, 0.9);
+    let mut rng = emb_util::seed_rng(0x5EED);
+    let keys: Vec<u32> = (0..100_000).map(|_| zipf.sample(&mut rng) as u32).collect();
+
+    // Outside the timed region: both paths must agree exactly.
+    let mut ref_out = vec![0.0f32; keys.len() * dim];
+    let mut opt_out = vec![0.0f32; keys.len() * dim];
+    for gpu in 0..4 {
+        let ref_stats = reference.gather(&cache, gpu, &keys, &mut ref_out);
+        let opt_stats = cache.gather(gpu, &keys, &mut opt_out);
+        assert_eq!(ref_stats, opt_stats, "gather stats diverge on GPU{gpu}");
+        assert_eq!(ref_out, opt_out, "gather values diverge on GPU{gpu}");
+    }
+
+    let ref_secs = time_trials(trials, warmup, || {
+        for gpu in 0..4 {
+            std::hint::black_box(reference.gather(&cache, gpu, &keys, &mut ref_out));
+        }
+    });
+    let opt_secs = time_trials(trials, warmup, || {
+        for gpu in 0..4 {
+            std::hint::black_box(cache.gather(gpu, &keys, &mut opt_out));
+        }
+    });
+    entry("gather", ref_secs, opt_secs)
+}
+
+/// The extraction event loop: per-step full rescans (reference) vs
+/// incremental active-set bookkeeping.
+fn bench_memsim_step(trials: usize, warmup: usize) -> BenchEntry {
+    use gpu_memsim::{
+        simulate, simulate_reference, DispatchMode, GpuWork, SimConfig, SourceDemand,
+    };
+    use gpu_platform::{DedicationConfig, Location, Platform};
+
+    let plat = Platform::server_c();
+    let cfg = SimConfig::default();
+    let works: Vec<GpuWork> = (0..8)
+        .map(|gpu| GpuWork {
+            gpu,
+            demands: vec![
+                SourceDemand {
+                    src: Location::Gpu(gpu),
+                    bytes: 600e6,
+                },
+                SourceDemand {
+                    src: Location::Gpu((gpu + 1) % 8),
+                    bytes: 250e6,
+                },
+                SourceDemand {
+                    src: Location::Host,
+                    bytes: 80e6,
+                },
+            ],
+        })
+        .collect();
+    let mode = DispatchMode::Factored {
+        dedication: DedicationConfig::default(),
+    };
+
+    // Outside the timed region: identical results (no telemetry scope is
+    // active here, so both paths skip span recording).
+    let opt = simulate(&plat, &cfg, &works, mode);
+    let refr = simulate_reference(&plat, &cfg, &works, mode);
+    assert_eq!(opt, refr, "memsim results diverge");
+
+    let ref_secs = time_trials(trials, warmup, || {
+        std::hint::black_box(simulate_reference(&plat, &cfg, &works, mode));
+    });
+    let opt_secs = time_trials(trials, warmup, || {
+        std::hint::black_box(simulate(&plat, &cfg, &works, mode));
+    });
+    entry("memsim_step", ref_secs, opt_secs)
+}
+
+/// The simplex tableau: full-width dense row operations (reference) vs
+/// the sparsified per-row supports.
+fn bench_simplex_pivot(trials: usize, warmup: usize) -> BenchEntry {
+    use milp::{solve_lp, solve_lp_dense, ConstraintSense, LinExpr, Model};
+    use rand::Rng;
+
+    // A banded sparse LP: the shape block batching emits (each block's
+    // constraints touch only its own few variables), where per-row
+    // nonzero supports stay small through the whole solve.
+    let n = 420;
+    let rows = 280;
+    let window = 5;
+    let mut rng = emb_util::seed_rng(0x5EED);
+    let mut m = Model::new();
+    let vars: Vec<_> = (0..n)
+        .map(|i| m.add_var(&format!("x{i}"), 0.0, 1.0, rng.gen_range(-1.0..1.0), false))
+        .collect();
+    for r in 0..rows {
+        let start = (r * 3) % (n - window);
+        let e =
+            LinExpr::from_terms((0..window).map(|k| (vars[start + k], rng.gen_range(0.2..1.0))));
+        if r % 4 == 0 {
+            m.add_constraint(e, ConstraintSense::Ge, rng.gen_range(0.1..0.8));
+        } else {
+            m.add_constraint(e, ConstraintSense::Le, rng.gen_range(1.0..3.0));
+        }
+    }
+
+    // Outside the timed region: pivot-for-pivot identical solves.
+    let sparse = solve_lp(&m).expect("feasible LP");
+    let dense = solve_lp_dense(&m).expect("feasible LP");
+    assert_eq!(
+        sparse.iterations, dense.iterations,
+        "pivot sequences diverge"
+    );
+    assert_eq!(
+        sparse.objective.to_bits(),
+        dense.objective.to_bits(),
+        "objectives diverge"
+    );
+
+    let ref_secs = time_trials(trials, warmup, || {
+        std::hint::black_box(solve_lp_dense(&m).expect("feasible LP"));
+    });
+    let opt_secs = time_trials(trials, warmup, || {
+        std::hint::black_box(solve_lp(&m).expect("feasible LP"));
+    });
+    entry("simplex_pivot", ref_secs, opt_secs)
+}
+
+/// Runs the named microbenches (all of [`BENCH_NAMES`] when empty).
+///
+/// # Errors
+///
+/// Returns a message naming any unknown bench.
+///
+/// # Panics
+///
+/// Panics if an optimized path's output diverges from its reference —
+/// a bench never silently times two implementations that disagree.
+pub fn run_benches(names: &[String], trials: usize, warmup: usize) -> Result<BenchReport, String> {
+    let selected: Vec<&str> = if names.is_empty() {
+        BENCH_NAMES.to_vec()
+    } else {
+        for n in names {
+            if !BENCH_NAMES.contains(&n.as_str()) {
+                return Err(format!(
+                    "unknown bench `{n}`; available: {}",
+                    BENCH_NAMES.join(" ")
+                ));
+            }
+        }
+        names.iter().map(String::as_str).collect()
+    };
+    let benches = selected
+        .iter()
+        .map(|name| match *name {
+            "gather" => bench_gather(trials, warmup),
+            "memsim_step" => bench_memsim_step(trials, warmup),
+            "simplex_pivot" => bench_simplex_pivot(trials, warmup),
+            other => unreachable!("bench `{other}` validated above"),
+        })
+        .collect();
+    Ok(BenchReport {
+        schema_version: BENCH_SCHEMA_VERSION,
+        kind: BENCH_KIND.to_string(),
+        trials,
+        warmup,
+        benches,
+    })
+}
+
+/// Renders a one-line-per-bench summary to stdout.
+pub fn render(report: &BenchReport) {
+    println!(
+        "bench: {} trials, {} warmup (wall clock; min-based speedup)",
+        report.trials, report.warmup
+    );
+    for b in &report.benches {
+        println!(
+            "  {:<14} ref {:>9.3} ms   opt {:>9.3} ms   speedup {:>5.2}x",
+            b.name,
+            b.ref_min_secs * 1e3,
+            b.opt_min_secs * 1e3,
+            b.speedup
+        );
+    }
+}
+
+fn get_f64(v: &Value, key: &str) -> Option<f64> {
+    match v.get(key) {
+        Some(Value::Num(raw)) => raw.parse().ok(),
+        _ => None,
+    }
+}
+
+fn get_str<'a>(v: &'a Value, key: &str) -> Option<&'a str> {
+    match v.get(key) {
+        Some(Value::Str(s)) => Some(s),
+        _ => None,
+    }
+}
+
+/// Parses a bench report file into `(name, opt_min_secs, speedup)` rows.
+fn load_rows(path: &Path) -> io::Result<Vec<(String, f64, f64)>> {
+    let text = std::fs::read_to_string(path)?;
+    let v = json::parse(&text).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: {e}", path.display()),
+        )
+    })?;
+    if get_str(&v, "kind") != Some(BENCH_KIND) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: not a {BENCH_KIND} file", path.display()),
+        ));
+    }
+    let Some(Value::Arr(benches)) = v.get("benches") else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: missing benches array", path.display()),
+        ));
+    };
+    let mut rows = Vec::new();
+    for b in benches {
+        let (Some(name), Some(opt), Some(speedup)) = (
+            get_str(b, "name"),
+            get_f64(b, "opt_min_secs"),
+            get_f64(b, "speedup"),
+        ) else {
+            continue;
+        };
+        rows.push((name.to_string(), opt, speedup));
+    }
+    Ok(rows)
+}
+
+/// Soft wall-clock gate: compares a fresh bench report against a
+/// committed baseline report.
+///
+/// Returns `(warnings, failures)`. Absolute wall-clock varies across
+/// machines, so the gate is deliberately generous: a bench fails only
+/// when it is missing, its best optimized trial regressed beyond
+/// [`REGRESSION_FACTOR`]×, or its speedup collapsed below
+/// `baseline / `[`SPEEDUP_LOSS_FACTOR`]. Moderate drift (beyond
+/// [`WARN_FACTOR`]×) is reported as a warning without failing.
+///
+/// # Errors
+///
+/// Returns any I/O or parse error from reading either file.
+pub fn compare_files(baseline: &Path, new: &Path) -> io::Result<(Vec<String>, Vec<String>)> {
+    let base = load_rows(baseline)?;
+    let fresh = load_rows(new)?;
+    let mut warnings = Vec::new();
+    let mut failures = Vec::new();
+    for (name, base_opt, base_speedup) in &base {
+        let Some((_, new_opt, new_speedup)) = fresh.iter().find(|(n, _, _)| n == name) else {
+            failures.push(format!("{name}: missing from {}", new.display()));
+            continue;
+        };
+        if *new_opt > base_opt * REGRESSION_FACTOR {
+            failures.push(format!(
+                "{name}: optimized path regressed {:.2}x (baseline {:.3} ms, new {:.3} ms, \
+                 limit {REGRESSION_FACTOR}x)",
+                new_opt / base_opt,
+                base_opt * 1e3,
+                new_opt * 1e3
+            ));
+        } else if *new_opt > base_opt * WARN_FACTOR {
+            warnings.push(format!(
+                "warning: {name}: optimized path {:.2}x slower than baseline \
+                 (within the {REGRESSION_FACTOR}x gate)",
+                new_opt / base_opt
+            ));
+        }
+        if *new_speedup < base_speedup / SPEEDUP_LOSS_FACTOR {
+            failures.push(format!(
+                "{name}: speedup collapsed to {new_speedup:.2}x (baseline {base_speedup:.2}x, \
+                 floor {:.2}x)",
+                base_speedup / SPEEDUP_LOSS_FACTOR
+            ));
+        }
+    }
+    Ok((warnings, failures))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_json(opt_min: f64, speedup: f64) -> String {
+        let report = BenchReport {
+            schema_version: BENCH_SCHEMA_VERSION,
+            kind: BENCH_KIND.to_string(),
+            trials: 1,
+            warmup: 0,
+            benches: vec![BenchEntry {
+                name: "gather".to_string(),
+                ref_secs: vec![opt_min * speedup],
+                opt_secs: vec![opt_min],
+                ref_min_secs: opt_min * speedup,
+                opt_min_secs: opt_min,
+                speedup,
+            }],
+        };
+        json::to_string_pretty(&report).unwrap()
+    }
+
+    #[test]
+    fn compare_passes_on_identical_and_fails_on_collapse() {
+        let dir = std::env::temp_dir().join("ugache-bench-compare-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let same = dir.join("same.json");
+        let slow = dir.join("slow.json");
+        std::fs::write(&base, report_json(1e-3, 4.0)).unwrap();
+        std::fs::write(&same, report_json(1.2e-3, 3.5)).unwrap();
+        std::fs::write(&slow, report_json(5e-3, 1.0)).unwrap();
+
+        let (warnings, failures) = compare_files(&base, &same).unwrap();
+        assert!(failures.is_empty(), "{failures:?}");
+        assert!(warnings.is_empty(), "{warnings:?}");
+
+        let (_, failures) = compare_files(&base, &slow).unwrap();
+        assert_eq!(failures.len(), 2, "{failures:?}"); // regression + collapse
+    }
+
+    #[test]
+    fn moderate_drift_warns_without_failing() {
+        let dir = std::env::temp_dir().join("ugache-bench-warn-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let drift = dir.join("drift.json");
+        std::fs::write(&base, report_json(1e-3, 4.0)).unwrap();
+        std::fs::write(&drift, report_json(1.8e-3, 3.0)).unwrap();
+        let (warnings, failures) = compare_files(&base, &drift).unwrap();
+        assert!(failures.is_empty(), "{failures:?}");
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+    }
+
+    #[test]
+    fn unknown_bench_rejected() {
+        assert!(run_benches(&["nope".to_string()], 1, 0).is_err());
+    }
+
+    #[test]
+    fn quick_benches_agree_and_produce_speedups() {
+        // One trial, no warmup: exercises the equality asserts inside
+        // each bench and the report shape without taking bench-grade time.
+        let report = run_benches(&[], 1, 0).unwrap();
+        assert_eq!(report.benches.len(), BENCH_NAMES.len());
+        for b in &report.benches {
+            assert!(b.ref_min_secs > 0.0 && b.opt_min_secs > 0.0, "{}", b.name);
+            assert!(b.speedup.is_finite(), "{}", b.name);
+        }
+    }
+}

@@ -119,6 +119,58 @@ fn parse_list_and_diff() {
 }
 
 #[test]
+fn parse_bench_subcommand() {
+    match cli::parse(&args(&["bench"])).unwrap() {
+        Command::Bench {
+            names,
+            trials,
+            warmup,
+            out,
+        } => {
+            assert!(names.is_empty(), "empty names = all benches");
+            assert_eq!(trials, ugache_bench::microbench::DEFAULT_TRIALS);
+            assert_eq!(warmup, ugache_bench::microbench::DEFAULT_WARMUP);
+            assert_eq!(out, None);
+        }
+        other => panic!("expected Bench, got {other:?}"),
+    }
+    match cli::parse(&args(&[
+        "bench",
+        "--trials=9",
+        "--warmup",
+        "0",
+        "--out",
+        "b.json",
+        "gather",
+        "simplex_pivot",
+    ]))
+    .unwrap()
+    {
+        Command::Bench {
+            names,
+            trials,
+            warmup,
+            out,
+        } => {
+            assert_eq!(names, ["gather", "simplex_pivot"]);
+            assert_eq!(trials, 9);
+            assert_eq!(warmup, 0);
+            assert_eq!(out.as_deref(), Some(std::path::Path::new("b.json")));
+        }
+        other => panic!("expected Bench, got {other:?}"),
+    }
+    // Trials clamp to at least 1; warmup 0 is legitimate.
+    match cli::parse(&args(&["bench", "--trials", "0"])).unwrap() {
+        Command::Bench { trials, .. } => assert_eq!(trials, 1),
+        other => panic!("expected Bench, got {other:?}"),
+    }
+    let err = cli::parse(&args(&["bench", "nope"])).unwrap_err();
+    assert!(err.contains("nope"), "{err}");
+    let err = cli::parse(&args(&["bench", "--json"])).unwrap_err();
+    assert!(err.contains("--json"), "{err}");
+}
+
+#[test]
 fn units_fold_fig10_and_fig11_into_one_computation() {
     let targets: Vec<String> = ["fig10", "fig11", "fig2"]
         .iter()

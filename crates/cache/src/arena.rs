@@ -98,6 +98,15 @@ impl GpuArena {
         out.copy_from_slice(&self.data[base..base + self.dim]);
     }
 
+    /// The raw backing slab: `capacity × dim` floats, slot-major.
+    ///
+    /// Row `s` occupies `slab()[s * dim .. (s + 1) * dim]`. Exposed so
+    /// blocked gather paths can stream many rows out of one slab without
+    /// a bounds-checked call per row.
+    pub fn slab(&self) -> &[f32] {
+        &self.data
+    }
+
     /// Removes everything.
     pub fn clear(&mut self) {
         self.slots.clear();

@@ -1,9 +1,21 @@
 //! The composed multi-GPU cache and its filler.
 
 use crate::arena::GpuArena;
+use crate::plan::GatherPlan;
 use crate::table::HostTable;
 use cache_policy::Placement;
-use std::collections::HashMap;
+use gpu_platform::Location;
+use std::cell::RefCell;
+
+/// Packed location-table value meaning "not cached anywhere — read host".
+const HOST_NONE: u64 = u64::MAX;
+
+thread_local! {
+    /// Reusable gather plan, one per thread, so steady-state gathers do
+    /// not allocate. Thread-local (not shared) keeps parallel repro runs
+    /// independent.
+    static PLAN: RefCell<GatherPlan> = RefCell::new(GatherPlan::new());
+}
 
 /// Per-source hit statistics of one gather call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -29,13 +41,42 @@ impl GatherStats {
 /// cached entry to `<GPU_i, Offset>` (§4); gathers consult it, fall back
 /// to the host table on miss, and report per-source counts that the
 /// timing layer can turn into simulated extraction times.
+///
+/// The location "hashtable" is stored dense — one packed `u64` per entry
+/// per destination GPU, exactly the flat-array layout a real GPU kernel
+/// would index — so the gather resolve pass is a single array load per
+/// key instead of a hash probe.
 #[derive(Debug, Clone)]
 pub struct MultiGpuCache {
     host: HostTable,
     arenas: Vec<GpuArena>,
-    /// `locations[i]`: for destination GPU `i`, entry → (source GPU, slot).
-    locations: Vec<HashMap<u32, (u8, u32)>>,
+    /// `locations[i][e]`: for destination GPU `i`, entry `e`'s packed
+    /// `source << 32 | offset`, or [`HOST_NONE`] when `e` reads host.
+    locations: Vec<Vec<u64>>,
     placement: Placement,
+}
+
+/// Builds one destination GPU's dense location table from an access row.
+fn dense_location_row(
+    arenas: &[GpuArena],
+    access: &[cache_policy::SourceIdx],
+    host_idx: cache_policy::SourceIdx,
+    expect_msg: &str,
+) -> Vec<u64> {
+    access
+        .iter()
+        .enumerate()
+        .map(|(e, &src)| {
+            if src == host_idx {
+                HOST_NONE
+            } else {
+                let off = arenas[src as usize]
+                    .offset_of(e as u32)
+                    .unwrap_or_else(|| panic!("{expect_msg}"));
+                (src as u64) << 32 | off as u64
+            }
+        })
+        .collect()
 }
 
 impl MultiGpuCache {
@@ -72,21 +113,17 @@ impl MultiGpuCache {
             }
         }
 
-        // Location hashtables per the access arrangement.
-        let mut locations: Vec<HashMap<u32, (u8, u32)>> = Vec::with_capacity(g);
-        for i in 0..g {
-            let mut map = HashMap::new();
-            for e in 0..placement.num_entries {
-                let src = placement.access[i][e];
-                if src != placement.host_idx() {
-                    let off = arenas[src as usize]
-                        .offset_of(e as u32)
-                        .expect("access points at a stored entry (validated placement)");
-                    map.insert(e as u32, (src, off));
-                }
-            }
-            locations.push(map);
-        }
+        // Location tables per the access arrangement.
+        let locations: Vec<Vec<u64>> = (0..g)
+            .map(|i| {
+                dense_location_row(
+                    &arenas,
+                    &placement.access[i],
+                    placement.host_idx(),
+                    "access points at a stored entry (validated placement)",
+                )
+            })
+            .collect();
 
         MultiGpuCache {
             host,
@@ -111,43 +148,141 @@ impl MultiGpuCache {
         &self.host
     }
 
+    /// One GPU's arena.
+    pub fn arena(&self, gpu: usize) -> &GpuArena {
+        &self.arenas[gpu]
+    }
+
     /// The active placement.
     pub fn placement(&self) -> &Placement {
         &self.placement
     }
 
+    /// Destination GPU `gpu`'s packed location table (entry →
+    /// `source << 32 | offset`, `u64::MAX` for host).
+    pub(crate) fn location_row(&self, gpu: usize) -> &[u64] {
+        &self.locations[gpu]
+    }
+
+    /// Resolves `keys` for GPU `gpu` into `plan` (the first gather pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a key is out of range.
+    pub fn plan_gather(&self, gpu: usize, keys: &[u32], plan: &mut GatherPlan) {
+        let g = self.num_gpus();
+        let table = &self.locations[gpu];
+        plan.reset(g);
+        plan.slots.reserve(keys.len());
+        let host_tag = (g as u64) << 32;
+        for &key in keys {
+            assert!((key as usize) < table.len(), "entry {key} out of range");
+            let packed = table[key as usize];
+            if packed == HOST_NONE {
+                plan.slots.push(host_tag | key as u64);
+                plan.counts[g] += 1;
+            } else {
+                plan.slots.push(packed);
+                plan.counts[(packed >> 32) as usize] += 1;
+            }
+        }
+    }
+
+    /// Copies every planned row into `out` (the second gather pass):
+    /// one sweep per source so each arena slab is streamed in turn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not `plan.len() × dim` floats long.
+    pub fn execute_plan(&self, plan: &GatherPlan, out: &mut [f32]) {
+        let dim = self.dim();
+        assert_eq!(out.len(), plan.len() * dim, "output buffer length mismatch");
+        let g = self.num_gpus();
+        for src in 0..g {
+            if plan.counts[src] == 0 {
+                continue;
+            }
+            let slab = self.arenas[src].slab();
+            let tag = (src as u64) << 32;
+            for (k, &packed) in plan.slots.iter().enumerate() {
+                if packed & !0xFFFF_FFFF == tag {
+                    let base = (packed & 0xFFFF_FFFF) as usize * dim;
+                    out[k * dim..(k + 1) * dim].copy_from_slice(&slab[base..base + dim]);
+                }
+            }
+        }
+        if plan.counts[g] > 0 {
+            let tag = (g as u64) << 32;
+            for (k, &packed) in plan.slots.iter().enumerate() {
+                if packed & !0xFFFF_FFFF == tag {
+                    let key = (packed & 0xFFFF_FFFF) as u32;
+                    self.host.read_into(key, &mut out[k * dim..(k + 1) * dim]);
+                }
+            }
+        }
+    }
+
     /// Gathers `keys` for GPU `gpu` into `out` (length `keys.len() × dim`)
     /// and reports per-source counts.
+    ///
+    /// Internally this is [`MultiGpuCache::plan_gather`] +
+    /// [`MultiGpuCache::execute_plan`] over a thread-local reusable plan.
     ///
     /// # Panics
     ///
     /// Panics if `out` has the wrong length or a key is out of range.
     pub fn gather(&self, gpu: usize, keys: &[u32], out: &mut [f32]) -> GatherStats {
-        let dim = self.dim();
-        assert_eq!(out.len(), keys.len() * dim, "output buffer length mismatch");
-        let mut stats = GatherStats::default();
-        for (k, &key) in keys.iter().enumerate() {
-            let dst = &mut out[k * dim..(k + 1) * dim];
-            match self.locations[gpu].get(&key) {
-                Some(&(src, off)) => {
-                    self.arenas[src as usize].read_slot(off, dst);
-                    if src as usize == gpu {
-                        stats.local += 1;
-                    } else {
-                        stats.remote += 1;
-                    }
-                }
-                None => {
-                    self.host.read_into(key, dst);
-                    stats.host += 1;
-                }
-            }
-        }
+        assert_eq!(
+            out.len(),
+            keys.len() * self.dim(),
+            "output buffer length mismatch"
+        );
+        let stats = PLAN.with(|p| {
+            let mut plan = p.borrow_mut();
+            self.plan_gather(gpu, keys, &mut plan);
+            self.execute_plan(&plan, out);
+            plan.stats(gpu)
+        });
         emb_telemetry::count("cache.gathers", 1.0);
         emb_telemetry::count("cache.local_hits", stats.local as f64);
         emb_telemetry::count("cache.remote_hits", stats.remote as f64);
         emb_telemetry::count("cache.host_misses", stats.host as f64);
         stats
+    }
+
+    /// Per-GPU `(location, key_count)` splits for one batch of key
+    /// batches, counted over the *placement's* access arrangement.
+    ///
+    /// This is the plan-based replacement for calling
+    /// `Placement::split_keys` per GPU (identical output), reusing the
+    /// thread-local plan's counting buffers. It deliberately counts over
+    /// `self.placement` rather than the live location tables: mid-refresh,
+    /// [`MultiGpuCache::invalidate_before_update`] re-routes reads to host
+    /// before the new arrangement is swapped in, and the timing layer must
+    /// keep pricing the arrangement it was given.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys_per_gpu.len()` differs from the GPU count or a key
+    /// is out of range.
+    pub fn access_splits(&self, keys_per_gpu: &[Vec<u32>]) -> Vec<Vec<(Location, u64)>> {
+        assert_eq!(keys_per_gpu.len(), self.num_gpus(), "one key batch per GPU");
+        let g = self.num_gpus();
+        PLAN.with(|p| {
+            let mut plan = p.borrow_mut();
+            keys_per_gpu
+                .iter()
+                .enumerate()
+                .map(|(gpu, keys)| {
+                    plan.reset(g);
+                    let access = &self.placement.access[gpu];
+                    for &k in keys {
+                        plan.counts[access[k as usize] as usize] += 1;
+                    }
+                    plan.source_split()
+                })
+                .collect()
+        })
     }
 
     /// Replaces the placement wholesale (re-fills arenas and hashtables).
@@ -164,13 +299,16 @@ impl MultiGpuCache {
     /// slots: otherwise a stale `<GPU, Offset>` mapping would serve
     /// another entry's bytes. This is the hashtable-before-content
     /// ordering of the paper's Refresher (§7.2).
+    ///
+    /// Each `(table, key)` pair is a single dense probe — no
+    /// get-then-remove double lookup.
     pub fn invalidate_before_update(&mut self, gpu: usize, evict: &[u32]) {
-        for i in 0..self.num_gpus() {
+        let src = gpu as u64;
+        for table in self.locations.iter_mut() {
             for &e in evict {
-                if let Some(&(src, _)) = self.locations[i].get(&e) {
-                    if src as usize == gpu {
-                        self.locations[i].remove(&e);
-                    }
+                let slot = &mut table[e as usize];
+                if *slot >> 32 == src {
+                    *slot = HOST_NONE;
                 }
             }
         }
@@ -201,21 +339,16 @@ impl MultiGpuCache {
     /// corresponding arena.
     pub fn swap_locations(&mut self, placement: &Placement) {
         let g = self.num_gpus();
-        let mut locations: Vec<HashMap<u32, (u8, u32)>> = Vec::with_capacity(g);
-        for i in 0..g {
-            let mut map = HashMap::new();
-            for e in 0..placement.num_entries {
-                let src = placement.access[i][e];
-                if src != placement.host_idx() {
-                    let off = self.arenas[src as usize]
-                        .offset_of(e as u32)
-                        .expect("refresh inserted entries before hashtable swap");
-                    map.insert(e as u32, (src, off));
-                }
-            }
-            locations.push(map);
-        }
-        self.locations = locations;
+        self.locations = (0..g)
+            .map(|i| {
+                dense_location_row(
+                    &self.arenas,
+                    &placement.access[i],
+                    placement.host_idx(),
+                    "refresh inserted entries before hashtable swap",
+                )
+            })
+            .collect();
         self.placement = placement.clone();
     }
 }
@@ -277,6 +410,18 @@ mod tests {
     }
 
     #[test]
+    fn access_splits_match_split_keys() {
+        let (cache, placement) = setup(50);
+        let keys_per_gpu: Vec<Vec<u32>> = (0..4)
+            .map(|i| (0..N as u32).skip(i).step_by(3).collect())
+            .collect();
+        let splits = cache.access_splits(&keys_per_gpu);
+        for (gpu, keys) in keys_per_gpu.iter().enumerate() {
+            assert_eq!(splits[gpu], placement.split_keys(gpu, keys), "gpu {gpu}");
+        }
+    }
+
+    #[test]
     fn filler_respects_capacity() {
         let (cache, placement) = setup(50);
         for j in 0..4 {
@@ -307,7 +452,7 @@ mod tests {
         // entry, then swap hashtables to the matching arrangement.
         let cold = 499u32;
         let victim = 0u32;
-        assert!(!cache.locations[0].contains_key(&cold));
+        assert_eq!(cache.locations[0][cold as usize], HOST_NONE);
         assert!(cache.arenas[0].offset_of(victim).is_some());
         cache.update_arena(0, &[victim], &[cold]);
         let mut p2 = placement.clone();
@@ -324,6 +469,24 @@ mod tests {
         let stats = cache.gather(0, &[cold], &mut out);
         assert_eq!(stats.local, 1);
         assert_eq!(out, HostTable::dense(N, DIM).read(cold));
+    }
+
+    #[test]
+    fn invalidate_routes_reads_to_host() {
+        let (mut cache, _) = setup(50);
+        // Entry 0 is stored on GPU0 under partition; every GPU reads it
+        // from there. Invalidating GPU0's copy must re-route all four
+        // destination tables to host without touching other entries.
+        let before = cache.gather(1, &[0, 1], &mut [0.0f32; 2 * DIM]);
+        assert_eq!(before.host, 0);
+        cache.invalidate_before_update(0, &[0]);
+        for i in 0..4 {
+            let stats = cache.gather(i, &[0], &mut [0.0f32; DIM]);
+            assert_eq!(stats.host, 1, "gpu {i} should now read entry 0 from host");
+        }
+        // Entry 1 lives on GPU1 — untouched.
+        let after = cache.gather(1, &[1], &mut [0.0f32; DIM]);
+        assert_eq!(after.host, 0);
     }
 
     #[test]

@@ -92,6 +92,40 @@ impl Extractor {
             .collect()
     }
 
+    /// Builds per-GPU source demands from precomputed per-source key
+    /// splits (one `(location, key_count)` list per destination GPU, e.g.
+    /// a gather plan's `source_split`), skipping the per-key pass of
+    /// [`Extractor::works_from_keys`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `splits.len()` differs from the GPU count.
+    pub fn works_from_splits(
+        &self,
+        splits: &[Vec<(Location, u64)>],
+        entry_bytes: usize,
+    ) -> Vec<GpuWork> {
+        assert_eq!(
+            splits.len(),
+            self.platform.num_gpus(),
+            "one key batch per GPU"
+        );
+        splits
+            .iter()
+            .enumerate()
+            .map(|(gpu, split)| {
+                let demands = split
+                    .iter()
+                    .map(|&(src, count)| SourceDemand {
+                        src,
+                        bytes: count as f64 * entry_bytes as f64,
+                    })
+                    .collect();
+                GpuWork { gpu, demands }
+            })
+            .collect()
+    }
+
     /// Extracts the given key batches under the configured mechanism.
     pub fn extract(
         &self,
@@ -100,6 +134,18 @@ impl Extractor {
         entry_bytes: usize,
     ) -> ExtractOutcome {
         let works = self.works_from_keys(placement, keys_per_gpu, entry_bytes);
+        self.extract_works(&works)
+    }
+
+    /// Extracts precomputed per-source key splits (the plan-based
+    /// front-end: callers that already counted keys per source — e.g. via
+    /// `emb_cache`'s gather plan — skip the per-key split pass).
+    pub fn extract_splits(
+        &self,
+        splits: &[Vec<(Location, u64)>],
+        entry_bytes: usize,
+    ) -> ExtractOutcome {
+        let works = self.works_from_splits(splits, entry_bytes);
         self.extract_works(&works)
     }
 
@@ -386,6 +432,21 @@ mod tests {
         assert_eq!(local, 2.0 * ENTRY_BYTES as f64);
         assert_eq!(host, ENTRY_BYTES as f64);
         assert!(works[1].demands.is_empty());
+    }
+
+    #[test]
+    fn works_from_splits_matches_works_from_keys() {
+        let plat = Platform::server_a();
+        let h = hotness(2_000);
+        let placement = baselines::partition(&plat, &h, 200).unwrap();
+        let keys = batches(&plat, 2_000, 5_000);
+        let ex = Extractor::new(plat, sim_cfg(), Mechanism::MessageBased);
+        let from_keys = ex.works_from_keys(&placement, &keys, ENTRY_BYTES);
+        let splits: Vec<Vec<(Location, u64)>> = (0..keys.len())
+            .map(|g| placement.split_keys(g, &keys[g]))
+            .collect();
+        let from_splits = ex.works_from_splits(&splits, ENTRY_BYTES);
+        assert_eq!(from_keys, from_splits);
     }
 
     #[test]

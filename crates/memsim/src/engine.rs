@@ -7,6 +7,16 @@
 //! source-egress caps) and advances simulated time to the next chunk
 //! completion. Stalls emerge naturally: a core stuck on an oversubscribed
 //! PCIe chunk holds that core while fast local chunks drain elsewhere.
+//!
+//! The event loop is incremental: per-group active-core counts, the
+//! per-GPU busy-core counts, and the list of busy cores are maintained on
+//! completion/dispatch transitions instead of being recounted by scanning
+//! every core each step, and the egress source list (with per-source
+//! caps and candidate reader groups) is computed once up front instead of
+//! being re-collected, re-sorted and re-deduped per step. The
+//! pre-optimization loop is preserved verbatim in [`crate::reference`]
+//! for differential tests and `repro bench`; both produce bit-identical
+//! results and telemetry.
 
 use crate::bandwidth::{effective_bw, CongestionModel};
 use crate::trace::{ExtractionTrace, TraceEvent};
@@ -158,31 +168,31 @@ pub struct ExtractionResult {
     pub per_gpu: Vec<GpuExtraction>,
 }
 
-struct Group {
-    gpu: usize,
-    src: Location,
-    path: PathSpec,
-    chunks_left: u64,
-    chunk_size: f64,
-    bytes_done: f64,
-    busy: f64,
+pub(crate) struct Group {
+    pub(crate) gpu: usize,
+    pub(crate) src: Location,
+    pub(crate) path: PathSpec,
+    pub(crate) chunks_left: u64,
+    pub(crate) chunk_size: f64,
+    pub(crate) bytes_done: f64,
+    pub(crate) busy: f64,
     /// Scratch: number of cores currently on this group.
-    active: usize,
+    pub(crate) active: usize,
     /// Scratch: allocated aggregate rate for this instant.
-    rate: f64,
+    pub(crate) rate: f64,
 }
 
-struct Core {
-    gpu: usize,
+pub(crate) struct Core {
+    pub(crate) gpu: usize,
     /// Index of this core within its GPU.
-    local_idx: usize,
+    pub(crate) local_idx: usize,
     /// Group this core is dedicated to (Factored mode), by global index.
-    dedicated: Option<usize>,
+    pub(crate) dedicated: Option<usize>,
     /// Current chunk: (group index, remaining bytes).
-    job: Option<(usize, f64)>,
+    pub(crate) job: Option<(usize, f64)>,
 }
 
-enum GpuQueue {
+pub(crate) enum GpuQueue {
     /// Static random dispatch: every chunk is pre-assigned to a core at
     /// launch (per-core queues, no work stealing) — the unorganized
     /// parallelism of §5.2, where an unlucky core stuck with slow chunks
@@ -196,6 +206,15 @@ enum GpuQueue {
     Sequential {
         order: Vec<usize>,
     },
+}
+
+/// Everything the event loop needs, built once per call and shared by the
+/// optimized loop and the frozen reference loop.
+pub(crate) struct SimState {
+    pub(crate) groups: Vec<Group>,
+    pub(crate) gpu_groups: Vec<Vec<usize>>,
+    pub(crate) cores: Vec<Core>,
+    pub(crate) queues: Vec<GpuQueue>,
 }
 
 /// Simulates one extraction call.
@@ -225,13 +244,13 @@ pub fn simulate_traced(
     run(platform, cfg, works, mode, true)
 }
 
-fn run(
+/// Merges demands, builds groups/cores/queues for one extraction call.
+pub(crate) fn build_state(
     platform: &Platform,
     cfg: &SimConfig,
     works: &[GpuWork],
     mode: DispatchMode,
-    record: bool,
-) -> (ExtractionResult, ExtractionTrace) {
+) -> SimState {
     // Collect per-(gpu, src) byte totals (merging duplicate sources).
     let mut totals: Vec<Vec<(Location, f64)>> = vec![Vec::new(); platform.num_gpus()];
     for w in works {
@@ -404,60 +423,94 @@ fn run(
         queues.push(q);
     }
 
-    let take = |groups: &mut Vec<Group>, gi: usize| -> Option<(usize, f64)> {
-        let g = &mut groups[gi];
-        if g.chunks_left == 0 {
-            None
-        } else {
-            g.chunks_left -= 1;
-            Some((gi, g.chunk_size))
-        }
-    };
+    SimState {
+        groups,
+        gpu_groups,
+        cores,
+        queues,
+    }
+}
 
-    // Dispatch closure: next chunk for a core, or None.
-    let dispatch = |groups: &mut Vec<Group>,
-                    queues: &mut Vec<GpuQueue>,
-                    core: &Core|
-     -> Option<(usize, f64)> {
-        match &mut queues[core.gpu] {
-            GpuQueue::Random { per_core } => {
-                let gi = per_core[core.local_idx].pop_front()?;
-                take(groups, gi)
-            }
-            GpuQueue::Factored { local } => {
-                if let Some(gi) = core.dedicated {
-                    if let Some(job) = take(groups, gi) {
-                        return Some(job);
-                    }
-                }
-                let gi = (*local)?;
-                if !cfg.factored_padding {
-                    // Ablation: local runs as a barrier phase after every
-                    // non-local group of this GPU has drained.
-                    let pending_non_local = gpu_groups[core.gpu]
-                        .iter()
-                        .any(|&g| g != gi && groups[g].chunks_left > 0);
-                    if pending_non_local {
-                        return None;
-                    }
-                }
-                take(groups, gi)
-            }
-            GpuQueue::Sequential { order } => {
-                for gi in order.iter().copied() {
-                    if let Some(job) = take(groups, gi) {
-                        return Some(job);
-                    }
-                }
-                None
-            }
+/// Pops one chunk from a group, if any remain.
+pub(crate) fn take(groups: &mut [Group], gi: usize) -> Option<(usize, f64)> {
+    let g = &mut groups[gi];
+    if g.chunks_left == 0 {
+        None
+    } else {
+        g.chunks_left -= 1;
+        Some((gi, g.chunk_size))
+    }
+}
+
+/// Next chunk for a core under its GPU's queue discipline, or `None`.
+pub(crate) fn dispatch(
+    cfg: &SimConfig,
+    gpu_groups: &[Vec<usize>],
+    groups: &mut [Group],
+    queues: &mut [GpuQueue],
+    core: &Core,
+) -> Option<(usize, f64)> {
+    match &mut queues[core.gpu] {
+        GpuQueue::Random { per_core } => {
+            let gi = per_core[core.local_idx].pop_front()?;
+            take(groups, gi)
         }
-    };
+        GpuQueue::Factored { local } => {
+            if let Some(gi) = core.dedicated {
+                if let Some(job) = take(groups, gi) {
+                    return Some(job);
+                }
+            }
+            let gi = (*local)?;
+            if !cfg.factored_padding {
+                // Ablation: local runs as a barrier phase after every
+                // non-local group of this GPU has drained.
+                let pending_non_local = gpu_groups[core.gpu]
+                    .iter()
+                    .any(|&g| g != gi && groups[g].chunks_left > 0);
+                if pending_non_local {
+                    return None;
+                }
+            }
+            take(groups, gi)
+        }
+        GpuQueue::Sequential { order } => {
+            for gi in order.iter().copied() {
+                if let Some(job) = take(groups, gi) {
+                    return Some(job);
+                }
+            }
+            None
+        }
+    }
+}
+
+/// One egress-limited source with its static cap and candidate readers.
+struct EgressSource {
+    /// Shared egress cap (bytes/s) for this source.
+    cap: f64,
+    /// Non-local reader groups of this source, in group-index order.
+    cands: Vec<usize>,
+}
+
+fn run(
+    platform: &Platform,
+    cfg: &SimConfig,
+    works: &[GpuWork],
+    mode: DispatchMode,
+    record: bool,
+) -> (ExtractionResult, ExtractionTrace) {
+    let SimState {
+        mut groups,
+        gpu_groups,
+        mut cores,
+        mut queues,
+    } = build_state(platform, cfg, works, mode);
 
     // Initial assignment.
     let mut job_start = vec![0.0f64; cores.len()];
     for ci in 0..cores.len() {
-        let job = dispatch(&mut groups, &mut queues, &cores[ci]);
+        let job = dispatch(cfg, &gpu_groups, &mut groups, &mut queues, &cores[ci]);
         cores[ci].job = job;
     }
     let mut trace = ExtractionTrace::default();
@@ -467,6 +520,68 @@ fn run(
         .map(|g| g.chunks_left + 1) // +1 slack for merged rounding
         .sum::<u64>()
         + cores.iter().filter(|c| c.job.is_some()).count() as u64;
+
+    // Incremental active-set bookkeeping. `busy` lists cores holding a
+    // job in ascending index order (so completion processing and chunk
+    // dispatch visit cores in the same order as a full scan would);
+    // `groups[gi].active` and `gpu_busy` are updated on transitions.
+    // A core whose dispatch returns `None` is permanently retired in
+    // every mode except the Factored no-padding ablation, where the
+    // local-phase barrier can release work later — only then do idle
+    // cores stay on a `waiting` list and get re-offered work.
+    let may_revive = matches!(mode, DispatchMode::Factored { .. }) && !cfg.factored_padding;
+    let mut busy: Vec<usize> = Vec::with_capacity(cores.len());
+    let mut waiting: Vec<usize> = Vec::new();
+    let mut gpu_busy: Vec<usize> = vec![0; platform.num_gpus()];
+    for (ci, c) in cores.iter().enumerate() {
+        match c.job {
+            Some((gi, _)) => {
+                groups[gi].active += 1;
+                gpu_busy[c.gpu] += 1;
+                busy.push(ci);
+            }
+            None if may_revive => waiting.push(ci),
+            None => {}
+        }
+    }
+
+    // Source-egress sharing applies to switch-based GPU sources and the
+    // host; the source list, per-source caps and candidate reader groups
+    // are static, so build them once instead of re-collecting, re-sorting
+    // and re-deduping every step. Candidates are filtered by the live
+    // active counts each step.
+    let switch_based = matches!(platform.interconnect, Interconnect::Switch { .. });
+    let egress_sources: Vec<EgressSource> = {
+        let mut srcs: Vec<Location> = groups
+            .iter()
+            .filter(|g| g.src != Location::Gpu(g.gpu))
+            .map(|g| g.src)
+            .collect();
+        srcs.sort();
+        srcs.dedup();
+        srcs.into_iter()
+            .filter(|src| match src {
+                Location::Host => true,
+                Location::Gpu(_) => switch_based,
+            })
+            .map(|src| {
+                let cap = match src {
+                    Location::Host => {
+                        let pcie_sum = platform.outbound_bw(Location::Host);
+                        cfg.host_dram_bw.map_or(pcie_sum, |d| d.min(pcie_sum))
+                    }
+                    Location::Gpu(_) => platform.outbound_bw(src),
+                };
+                let cands = groups
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, g)| g.src == src && g.src != Location::Gpu(g.gpu))
+                    .map(|(i, _)| i)
+                    .collect();
+                EgressSource { cap, cands }
+            })
+            .collect()
+    };
 
     let mut now = 0.0f64; // seconds
     let mut gpu_finish = vec![0.0f64; platform.num_gpus()];
@@ -487,14 +602,18 @@ fn run(
     let mut grp_congest: Vec<u64> = Vec::new();
     let mut grp_egress: Vec<u64> = Vec::new();
     let mut stall_open: Vec<Option<OpenStall>> = Vec::new();
-    let mut gpu_active: Vec<usize> = Vec::new();
     if spans_on {
         xfer_open = (0..groups.len()).map(|_| None).collect();
         grp_congest = vec![0; groups.len()];
         grp_egress = vec![0; groups.len()];
         stall_open = vec![None; platform.num_gpus()];
-        gpu_active = vec![0; platform.num_gpus()];
     }
+
+    // Reused scratch buffers.
+    let mut readers: Vec<usize> = Vec::new();
+    let mut finished: Vec<usize> = Vec::new();
+    let mut joined: Vec<usize> = Vec::new();
+    let mut merge_scratch: Vec<usize> = Vec::new();
 
     loop {
         iterations += 1;
@@ -503,18 +622,7 @@ fn run(
             "extraction simulation failed to converge"
         );
 
-        // Count active cores per group.
-        for g in groups.iter_mut() {
-            g.active = 0;
-        }
-        let mut any_active = false;
-        for c in &cores {
-            if let Some((gi, _)) = c.job {
-                groups[gi].active += 1;
-                any_active = true;
-            }
-        }
-        if !any_active {
+        if busy.is_empty() {
             break;
         }
 
@@ -539,17 +647,9 @@ fn run(
                     _ => {}
                 }
             }
-            for a in gpu_active.iter_mut() {
-                *a = 0;
-            }
-            for c in &cores {
-                if c.job.is_some() {
-                    gpu_active[c.gpu] += 1;
-                }
-            }
             for gpu in 0..platform.num_gpus() {
                 let sm = platform.gpus[gpu].sm_count;
-                let partial = gpu_active[gpu] > 0 && gpu_active[gpu] < sm;
+                let partial = gpu_busy[gpu] > 0 && gpu_busy[gpu] < sm;
                 match (stall_open[gpu], partial) {
                     (None, true) => {
                         stall_open[gpu] = Some(OpenStall {
@@ -566,8 +666,13 @@ fn run(
             }
         }
 
-        // Per-group raw rates from the congestion model.
+        // Per-group raw rates from the congestion model (idle groups keep
+        // a zero rate; nothing downstream reads it).
         for (gi, g) in groups.iter_mut().enumerate() {
+            if g.active == 0 {
+                g.rate = 0.0;
+                continue;
+            }
             g.rate = effective_bw(g.path.bw, g.path.per_core_bw, g.active, cfg.congestion);
             if g.active as f64 * g.path.per_core_bw > g.path.bw {
                 congestion_hits += 1;
@@ -577,36 +682,13 @@ fn run(
             }
         }
 
-        // Source-egress sharing: switch-based GPU sources and the host.
-        let switch_based = matches!(platform.interconnect, Interconnect::Switch { .. });
-        let mut sources: Vec<Location> = groups
-            .iter()
-            .filter(|g| g.active > 0 && g.src != Location::Gpu(g.gpu))
-            .map(|g| g.src)
-            .collect();
-        sources.sort();
-        sources.dedup();
-        for src in sources {
-            let egress_applies = match src {
-                Location::Host => true,
-                Location::Gpu(_) => switch_based,
-            };
-            if !egress_applies {
+        // Source-egress sharing over the precomputed source list.
+        for es in &egress_sources {
+            readers.clear();
+            readers.extend(es.cands.iter().copied().filter(|&i| groups[i].active > 0));
+            if readers.is_empty() {
                 continue;
             }
-            let cap = match src {
-                Location::Host => {
-                    let pcie_sum = platform.outbound_bw(Location::Host);
-                    cfg.host_dram_bw.map_or(pcie_sum, |d| d.min(pcie_sum))
-                }
-                Location::Gpu(_) => platform.outbound_bw(src),
-            };
-            let readers: Vec<usize> = groups
-                .iter()
-                .enumerate()
-                .filter(|(_, g)| g.src == src && g.src != Location::Gpu(g.gpu) && g.active > 0)
-                .map(|(i, _)| i)
-                .collect();
             let total_cores: usize = readers.iter().map(|&i| groups[i].active).sum();
             // Per-core bandwidth for the egress tolerance: weighted mean of
             // the readers' per-core path bandwidths.
@@ -615,7 +697,7 @@ fn run(
                 .map(|&i| groups[i].path.per_core_bw * groups[i].active as f64)
                 .sum::<f64>()
                 / total_cores.max(1) as f64;
-            let eff_cap = effective_bw(cap, pc, total_cores, cfg.congestion).min(cap);
+            let eff_cap = effective_bw(es.cap, pc, total_cores, cfg.congestion).min(es.cap);
             let demand: f64 = readers.iter().map(|&i| groups[i].rate).sum();
             if demand > eff_cap && demand > 0.0 {
                 egress_caps += 1;
@@ -629,15 +711,14 @@ fn run(
             }
         }
 
-        // Next completion.
+        // Next completion: only busy cores can finish.
         let mut dt = f64::INFINITY;
-        for c in &cores {
-            if let Some((gi, rem)) = c.job {
-                let g = &groups[gi];
-                let r = g.rate / g.active as f64;
-                if r > 0.0 {
-                    dt = dt.min(rem / r);
-                }
+        for &ci in &busy {
+            let (gi, rem) = cores[ci].job.expect("busy core holds a job");
+            let g = &groups[gi];
+            let r = g.rate / g.active as f64;
+            if r > 0.0 {
+                dt = dt.min(rem / r);
             }
         }
         assert!(dt.is_finite(), "no progress possible (all rates zero)");
@@ -654,45 +735,112 @@ fn run(
             for gpu in 0..platform.num_gpus() {
                 if let Some(open) = stall_open[gpu].as_mut() {
                     let sm = platform.gpus[gpu].sm_count;
-                    open.idle_core_secs += sm.saturating_sub(gpu_active[gpu]) as f64 * dt;
+                    open.idle_core_secs += sm.saturating_sub(gpu_busy[gpu]) as f64 * dt;
                 }
             }
         }
-        let mut finished: Vec<usize> = Vec::new();
-        for (ci, c) in cores.iter_mut().enumerate() {
-            if let Some((gi, rem)) = c.job.as_mut() {
-                let g = &groups[*gi];
-                let r = g.rate / g.active as f64;
-                core_busy[c.gpu] += dt;
-                *rem -= r * dt;
-                if *rem <= 1e-6 {
-                    gpu_finish[c.gpu] = now;
-                    if record {
-                        trace.events.push(TraceEvent {
-                            gpu: c.gpu,
-                            core: c.local_idx,
-                            src: groups[*gi].src,
-                            start: job_start[ci],
-                            end: now,
-                        });
-                    }
-                    finished.push(ci);
+        finished.clear();
+        for &ci in &busy {
+            let (gi, rem) = cores[ci].job.expect("busy core holds a job");
+            let g = &groups[gi];
+            let r = g.rate / g.active as f64;
+            let gpu = cores[ci].gpu;
+            core_busy[gpu] += dt;
+            let rem = rem - r * dt;
+            if rem <= 1e-6 {
+                gpu_finish[gpu] = now;
+                if record {
+                    trace.events.push(TraceEvent {
+                        gpu,
+                        core: cores[ci].local_idx,
+                        src: g.src,
+                        start: job_start[ci],
+                        end: now,
+                    });
                 }
+                finished.push(ci);
+            } else {
+                cores[ci].job = Some((gi, rem));
             }
         }
-        for ci in finished {
-            cores[ci].job = dispatch(&mut groups, &mut queues, &cores[ci]);
-            job_start[ci] = now;
+
+        if finished.is_empty() {
+            continue;
         }
-        // Idle cores may become eligible again (e.g. the no-padding
-        // ablation releases local work once non-local groups drain).
-        for ci in 0..cores.len() {
-            if cores[ci].job.is_none() {
-                cores[ci].job = dispatch(&mut groups, &mut queues, &cores[ci]);
-                if cores[ci].job.is_some() {
+
+        // Completion transitions: retire finished cores from the active
+        // sets, then re-dispatch them (and, in the revivable ablation,
+        // every other idle core) in ascending core order — the same order
+        // a full scan over all cores would use.
+        for &ci in &finished {
+            let (gi, _) = cores[ci].job.take().expect("finished core had a job");
+            groups[gi].active -= 1;
+            gpu_busy[cores[ci].gpu] -= 1;
+        }
+        busy.retain(|&ci| cores[ci].job.is_some());
+        joined.clear();
+        for &ci in &finished {
+            let job = dispatch(cfg, &gpu_groups, &mut groups, &mut queues, &cores[ci]);
+            if let Some((gi, _)) = job {
+                cores[ci].job = job;
+                job_start[ci] = now;
+                groups[gi].active += 1;
+                gpu_busy[cores[ci].gpu] += 1;
+                joined.push(ci);
+            } else if may_revive {
+                let pos = waiting.binary_search(&ci).unwrap_err();
+                waiting.insert(pos, ci);
+            }
+        }
+        if may_revive && !waiting.is_empty() {
+            // The barrier release may happen mid-instant (a finished core's
+            // dispatch drained the last non-local chunk), so idle cores are
+            // re-offered work in the same instant, like the full rescan did.
+            let mut w = 0;
+            while w < waiting.len() {
+                let ci = waiting[w];
+                let job = dispatch(cfg, &gpu_groups, &mut groups, &mut queues, &cores[ci]);
+                if let Some((gi, _)) = job {
+                    cores[ci].job = job;
                     job_start[ci] = now;
+                    groups[gi].active += 1;
+                    gpu_busy[cores[ci].gpu] += 1;
+                    joined.push(ci);
+                    waiting.remove(w);
+                } else {
+                    w += 1;
                 }
             }
+        }
+        if !joined.is_empty() {
+            joined.sort_unstable();
+            merge_scratch.clear();
+            merge_scratch.reserve(busy.len() + joined.len());
+            let mut a = 0;
+            let mut b = 0;
+            while a < busy.len() || b < joined.len() {
+                match (busy.get(a), joined.get(b)) {
+                    (Some(&x), Some(&y)) => {
+                        if x < y {
+                            merge_scratch.push(x);
+                            a += 1;
+                        } else {
+                            merge_scratch.push(y);
+                            b += 1;
+                        }
+                    }
+                    (Some(&x), None) => {
+                        merge_scratch.push(x);
+                        a += 1;
+                    }
+                    (None, Some(&y)) => {
+                        merge_scratch.push(y);
+                        b += 1;
+                    }
+                    (None, None) => unreachable!(),
+                }
+            }
+            std::mem::swap(&mut busy, &mut merge_scratch);
         }
     }
 
@@ -717,6 +865,41 @@ fn run(
         }
     }
 
+    let result = finalize(
+        platform,
+        cfg,
+        works,
+        &groups,
+        &gpu_groups,
+        &gpu_finish,
+        &core_busy,
+        mode,
+        congestion_hits,
+        egress_caps,
+        spans_on,
+        base_ns,
+    );
+    (result, trace)
+}
+
+/// Assembles the [`ExtractionResult`], records telemetry counters, emits
+/// the per-GPU `extract` spans and advances the scope clock. Shared by
+/// the optimized loop and the frozen reference loop.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn finalize(
+    platform: &Platform,
+    cfg: &SimConfig,
+    works: &[GpuWork],
+    groups: &[Group],
+    gpu_groups: &[Vec<usize>],
+    gpu_finish: &[f64],
+    core_busy: &[f64],
+    mode: DispatchMode,
+    congestion_hits: u64,
+    egress_caps: u64,
+    spans_on: bool,
+    base_ns: u64,
+) -> ExtractionResult {
     // Assemble results.
     let mut per_gpu: Vec<GpuExtraction> = Vec::new();
     for w in works {
@@ -785,28 +968,28 @@ fn run(
         }
         emb_telemetry::advance_clock_ns(result.makespan.as_nanos());
     }
-    (result, trace)
+    result
 }
 
 /// Per-link busy interval being accumulated for a span.
-struct OpenXfer {
+pub(crate) struct OpenXfer {
     /// Interval start (engine seconds).
-    start: f64,
+    pub(crate) start: f64,
     /// `bytes_done` of the group at interval start.
-    bytes0: f64,
+    pub(crate) bytes0: f64,
     /// Group congestion-activation count at interval start.
-    congest0: u64,
+    pub(crate) congest0: u64,
     /// Group egress-cap count at interval start.
-    egress0: u64,
+    pub(crate) egress0: u64,
 }
 
 /// Per-GPU partial-stall window being accumulated for a span.
 #[derive(Clone, Copy)]
-struct OpenStall {
+pub(crate) struct OpenStall {
     /// Window start (engine seconds).
-    start: f64,
+    pub(crate) start: f64,
     /// Idle core-seconds accumulated inside the window.
-    idle_core_secs: f64,
+    pub(crate) idle_core_secs: f64,
 }
 
 /// Engine seconds → scope-clock nanoseconds.
@@ -825,7 +1008,7 @@ fn kind_label(kind: PathKind) -> &'static str {
 }
 
 /// Emits one `xfer` span for a closed per-link busy interval.
-fn emit_xfer_span(
+pub(crate) fn emit_xfer_span(
     base_ns: u64,
     g: &Group,
     open: &OpenXfer,
@@ -871,7 +1054,7 @@ fn emit_xfer_span(
 }
 
 /// Emits one `stall` span for a closed per-GPU partial-stall window.
-fn emit_stall_span(base_ns: u64, gpu: usize, open: &OpenStall, end: f64) {
+pub(crate) fn emit_stall_span(base_ns: u64, gpu: usize, open: &OpenStall, end: f64) {
     let track = format!("gpu{gpu}/cores");
     emb_telemetry::span(
         &track,

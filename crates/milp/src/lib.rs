@@ -6,9 +6,10 @@
 //!
 //! * [`Model`] — a small modelling API (variables with bounds and
 //!   integrality, linear constraints, a linear objective to minimize);
-//! * [`simplex`] — a dense *bounded-variable* primal simplex with a
-//!   two-phase start, so `0 ≤ x ≤ 1` binaries do not blow up the row
-//!   count;
+//! * [`simplex`] — a *bounded-variable* primal simplex with a two-phase
+//!   start (so `0 ≤ x ≤ 1` binaries do not blow up the row count) and
+//!   sparsified row operations; the original dense solver survives as
+//!   [`dense::solve_lp_dense`] for differential tests and benchmarks;
 //! * [`branch`] — best-first branch-and-bound over the LP relaxation with
 //!   most-fractional branching and node limits.
 //!
@@ -22,9 +23,11 @@
 #![deny(missing_docs)]
 
 pub mod branch;
+pub mod dense;
 pub mod model;
 pub mod simplex;
 
 pub use branch::{solve_milp, MilpOptions, MilpResult, MilpStatus};
+pub use dense::solve_lp_dense;
 pub use model::{ConstraintSense, LinExpr, Model, VarId};
 pub use simplex::{solve_lp, LpResult, LpStatus};

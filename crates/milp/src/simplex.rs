@@ -1,4 +1,4 @@
-//! Dense bounded-variable primal simplex with a two-phase start.
+//! Bounded-variable primal simplex with a two-phase start.
 //!
 //! Variables carry native `[lb, ub]` bounds (so `0 ≤ x ≤ 1` binaries do
 //! not become rows), nonbasic variables rest at one of their bounds, and
@@ -6,6 +6,16 @@
 //! per-row artificial variables; phase 2 minimizes the true objective.
 //! Anti-cycling falls back to Bland's rule after a run of degenerate
 //! pivots.
+//!
+//! Row operations are *sparsified*: each tableau row keeps a sorted index
+//! of its (potentially) nonzero columns, so pivoting and pricing touch
+//! only that support instead of all `n` columns. The placement tableaus
+//! are mostly slack/artificial columns, so this is where the solver spent
+//! its time. Skipped columns hold exact zeros, and adding/subtracting a
+//! `±0.0` term never changes a nonzero value bitwise nor any comparison
+//! the solver makes, so the sparse path produces the same pivots and the
+//! same solution as the frozen dense copy in [`crate::dense`] — which the
+//! differential tests assert.
 
 use crate::model::{ConstraintSense, Model};
 
@@ -59,6 +69,12 @@ struct Tableau {
     cost: Vec<f64>,
     /// Simplex steps taken so far, accumulated across phases.
     iterations: usize,
+    /// Per-row sorted column support: every column whose tableau entry
+    /// may be nonzero is listed (entries may point at exact zeros; the
+    /// pivot merge prunes them).
+    nz: Vec<Vec<u32>>,
+    /// Reusable merge buffer for [`Tableau::pivot`].
+    scratch: Vec<u32>,
 }
 
 impl Tableau {
@@ -144,6 +160,18 @@ impl Tableau {
             in_basis[j] = true;
         }
 
+        // Initial row supports: the structural terms plus one slack and
+        // one artificial per row.
+        assert!(n <= u32::MAX as usize, "tableau too wide");
+        let nz: Vec<Vec<u32>> = (0..m)
+            .map(|i| {
+                (0..n)
+                    .filter(|&j| t[i * n + j] != 0.0)
+                    .map(|j| j as u32)
+                    .collect()
+            })
+            .collect();
+
         Tableau {
             m,
             n,
@@ -158,6 +186,8 @@ impl Tableau {
             in_basis,
             cost: vec![0.0; n],
             iterations: 0,
+            nz,
+            scratch: Vec::new(),
         }
     }
 
@@ -180,15 +210,15 @@ impl Tableau {
         }
     }
 
-    /// Reduced costs `d = c − c_B' · (B⁻¹A)`.
+    /// Reduced costs `d = c − c_B' · (B⁻¹A)`, priced over each row's
+    /// support only (skipped columns contribute an exact-zero term).
     fn reduced_costs(&self) -> Vec<f64> {
         let mut d = self.cost.clone();
         for i in 0..self.m {
             let yb = self.cost[self.basis[i]];
             if yb != 0.0 {
-                let row = &self.t[i * self.n..(i + 1) * self.n];
-                for (dj, &tij) in d.iter_mut().zip(row) {
-                    *dj -= yb * tij;
+                for &j in &self.nz[i] {
+                    d[j as usize] -= yb * self.t[i * self.n + j as usize];
                 }
             }
         }
@@ -317,27 +347,68 @@ impl Tableau {
 
     fn pivot(&mut self, r: usize, q: usize) {
         let n = self.n;
+        let m = self.m;
         let piv = self.t[r * n + q];
         debug_assert!(piv.abs() > PIVOT_TOL, "tiny pivot {piv}");
         let inv = 1.0 / piv;
-        for j in 0..n {
-            self.t[r * n + j] *= inv;
+        let Tableau { t, nz, scratch, .. } = self;
+        let mut row_nz = std::mem::take(&mut nz[r]);
+        for &j in &row_nz {
+            t[r * n + j as usize] *= inv;
         }
-        self.t[r * n + q] = 1.0; // kill round-off on the pivot column
-        for i in 0..self.m {
+        t[r * n + q] = 1.0; // kill round-off on the pivot column
+        row_nz.retain(|&j| t[r * n + j as usize] != 0.0);
+        for i in 0..m {
             if i == r {
                 continue;
             }
-            let f = self.t[i * n + q];
+            let f = t[i * n + q];
             if f.abs() <= 1e-12 {
-                self.t[i * n + q] = 0.0;
+                t[i * n + q] = 0.0;
                 continue;
             }
-            for j in 0..n {
-                self.t[i * n + j] -= f * self.t[r * n + j];
+            for &j in &row_nz {
+                t[i * n + j as usize] -= f * t[r * n + j as usize];
             }
-            self.t[i * n + q] = 0.0;
+            t[i * n + q] = 0.0;
+            // New support of row i = old support ∪ pivot-row support,
+            // pruning columns whose entry is exactly zero now (a pruned
+            // column can only come back through a pivot-row merge, which
+            // re-adds it).
+            scratch.clear();
+            let (a, b) = (&nz[i], &row_nz);
+            let (mut ai, mut bi) = (0usize, 0usize);
+            while ai < a.len() || bi < b.len() {
+                let j = match (a.get(ai), b.get(bi)) {
+                    (Some(&x), Some(&y)) => {
+                        if x <= y {
+                            if x == y {
+                                bi += 1;
+                            }
+                            ai += 1;
+                            x
+                        } else {
+                            bi += 1;
+                            y
+                        }
+                    }
+                    (Some(&x), None) => {
+                        ai += 1;
+                        x
+                    }
+                    (None, Some(&y)) => {
+                        bi += 1;
+                        y
+                    }
+                    (None, None) => unreachable!(),
+                };
+                if t[i * n + j as usize] != 0.0 {
+                    scratch.push(j);
+                }
+            }
+            std::mem::swap(&mut nz[i], scratch);
         }
+        nz[r] = row_nz;
     }
 
     /// Runs simplex to optimality with the current costs.

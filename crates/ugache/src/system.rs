@@ -152,11 +152,13 @@ impl UGache {
             self.sampler.observe(keys);
         }
         let base_ns = emb_telemetry::clock_ns();
-        let mut outcome = self.extractor.extract(
-            self.cache.placement(),
-            keys_per_gpu,
-            self.cfg.solver.entry_bytes,
-        );
+        // Split keys by source with the cache's plan counting pass
+        // (identical to `Placement::split_keys`, but reusing the gather
+        // plan's buffers) and hand the counts straight to the extractor.
+        let splits = self.cache.access_splits(keys_per_gpu);
+        let mut outcome = self
+            .extractor
+            .extract_splits(&splits, self.cfg.solver.entry_bytes);
         let slowdown = self.refresher.slowdown();
         if slowdown > 1.0 {
             let unadjusted = outcome.makespan;
