@@ -2,9 +2,9 @@
 //!
 //! Usage:
 //! ```text
-//! repro [--full] [--jobs N] [--trace OUT.jsonl] [--chrome-trace OUT.json] <target>...
-//! repro [--full] [--jobs N] [...] --json --out DIR <target>...
-//! repro profile [--full] [--jobs N] <target>...
+//! repro [--full] [--jobs N] [--threads N] [--trace OUT.jsonl] [--chrome-trace OUT.json] <target>...
+//! repro [--full] [--jobs N] [--threads N] [...] --json --out DIR <target>...
+//! repro profile [--full] [--jobs N] [--threads N] <target>...
 //! repro diff <dir-a> <dir-b>
 //! repro compare <baseline-dir> <new-dir>
 //! repro compare <baseline-bench.json> <new-bench.json>
@@ -19,7 +19,11 @@
 //! datasets (slower, smoother series); `--gnn-scale=N` / `--dlr-scale=N`
 //! override the dataset scale divisors explicitly. `--jobs N` computes
 //! targets on N worker threads; output order and artifact bytes are
-//! identical to a serial run. `--json --out DIR` writes one
+//! identical to a serial run. `--threads N` sets the intra-target
+//! worker-pool width (gather passes, workload generation, per-block LP
+//! solves); artifacts, traces, and chrome traces are byte-identical at
+//! every width (defaults to 1, or the `REPRO_THREADS` env var when the
+//! flag is absent). `--json --out DIR` writes one
 //! stable-schema JSON artifact per target instead of pretty-printing
 //! (each carries telemetry `metrics` and span-derived `timeline`
 //! blocks); `--trace OUT.jsonl` additionally writes the ordered
@@ -59,10 +63,10 @@ fn main() {
         Command::List => {
             println!("targets: {} | all", cli::TARGETS.join(" "));
             println!(
-                "usage: repro [--full] [--jobs N] [--trace OUT.jsonl] \
+                "usage: repro [--full] [--jobs N] [--threads N] [--trace OUT.jsonl] \
                  [--chrome-trace OUT.json] [--json --out DIR] <target>... (or: repro all)"
             );
-            println!("       repro profile [--full] [--jobs N] <target>...");
+            println!("       repro profile [--full] [--jobs N] [--threads N] <target>...");
             println!("       repro diff <dir-a> <dir-b>");
             println!("       repro compare <baseline-dir> <new-dir>");
             println!("       repro compare <baseline-bench.json> <new-bench.json>");
@@ -98,8 +102,11 @@ fn main() {
                 let (warnings, failures) = match microbench::compare_files(&baseline, &new) {
                     Ok(r) => r,
                     Err(e) => {
-                        eprintln!("bench compare failed: {e}");
-                        std::process::exit(2);
+                        // Exit 3: the inputs could not be compared at all
+                        // (unreadable file, bad JSON, wrong kind/schema) —
+                        // distinct from exit 1, a genuine gate failure.
+                        eprintln!("bench compare inputs unusable: {e}");
+                        std::process::exit(3);
                     }
                 };
                 for w in &warnings {
@@ -123,8 +130,9 @@ fn main() {
             let failures = match compare::compare_dirs(&baseline, &new) {
                 Ok(f) => f,
                 Err(e) => {
-                    eprintln!("compare failed: {e}");
-                    std::process::exit(2);
+                    // Exit 3: inputs unusable (see the bench branch above).
+                    eprintln!("compare inputs unusable: {e}");
+                    std::process::exit(3);
                 }
             };
             if failures.is_empty() {
@@ -192,7 +200,18 @@ fn main() {
                 }
             }
         }
-        Command::Run(spec) => run(&spec),
+        Command::Run(spec) => {
+            let env = std::env::var("REPRO_THREADS").ok();
+            let threads = match cli::resolve_threads(spec.threads, env.as_deref()) {
+                Ok(n) => n,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    std::process::exit(2);
+                }
+            };
+            emb_util::pool::set_threads(threads);
+            run(&spec);
+        }
     }
 }
 

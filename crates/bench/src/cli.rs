@@ -26,6 +26,10 @@ pub struct RunSpec {
     pub out: Option<PathBuf>,
     /// Worker threads for computation (>= 1).
     pub jobs: usize,
+    /// Intra-target worker-pool width (`--threads N`, >= 1). `None`
+    /// means the flag was absent; the binary then falls back to the
+    /// `REPRO_THREADS` env var via [`resolve_threads`], defaulting to 1.
+    pub threads: Option<usize>,
     /// Telemetry event-trace output file (JSONL), if requested.
     pub trace: Option<PathBuf>,
     /// Chrome trace-event output file (JSON), if requested.
@@ -204,6 +208,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut trace: Option<PathBuf> = None;
     let mut chrome_trace: Option<PathBuf> = None;
     let mut jobs: usize = 1;
+    let mut threads: Option<usize> = None;
     let mut gnn_scale: Option<usize> = None;
     let mut dlr_scale: Option<usize> = None;
     let mut targets: Vec<String> = Vec::new();
@@ -240,6 +245,18 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     .parse::<usize>()
                     .map_err(|_| format!("--jobs expects an unsigned integer, got `{v}`"))?
                     .max(1);
+            }
+            a if a == "--threads" || a.starts_with("--threads=") => {
+                let v = value_of("threads")?;
+                let n = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--threads expects an unsigned integer, got `{v}`"))?;
+                if n == 0 {
+                    // Unlike --jobs (which clamps), a zero-width worker
+                    // pool is a contradiction — reject it loudly.
+                    return Err("--threads must be >= 1, got `0`".to_string());
+                }
+                threads = Some(n);
             }
             a if a == "--gnn-scale" || a.starts_with("--gnn-scale=") => {
                 gnn_scale = Some(parse_scale("gnn-scale", &value_of("gnn-scale")?)?);
@@ -307,8 +324,32 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         json,
         out,
         jobs,
+        threads,
         trace,
         chrome_trace,
         profile,
     }))
+}
+
+/// Resolves the intra-target worker-pool width from the `--threads`
+/// flag and the `REPRO_THREADS` environment variable (flag wins; default
+/// 1). Pure so both sources are unit-testable; the binary passes
+/// `std::env::var("REPRO_THREADS").ok()`.
+///
+/// # Errors
+///
+/// Returns a message when `REPRO_THREADS` is not a positive integer.
+pub fn resolve_threads(flag: Option<usize>, env: Option<&str>) -> Result<usize, String> {
+    if let Some(n) = flag {
+        return Ok(n.max(1));
+    }
+    match env {
+        None => Ok(1),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!(
+                "REPRO_THREADS must be a positive integer, got `{v}`"
+            )),
+        },
+    }
 }

@@ -26,14 +26,24 @@ use std::path::Path;
 use std::time::Instant;
 
 /// Schema version of the bench report file (independent of the artifact
-/// schema; bump on shape changes).
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+/// schema; bump on shape changes). v2 added the per-entry `scaling`
+/// thread-scaling points.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// The `kind` discriminator of bench report files.
 pub const BENCH_KIND: &str = "ugache-bench";
 
 /// Every microbench name, in canonical execution order.
-pub const BENCH_NAMES: &[&str] = &["gather", "memsim_step", "simplex_pivot"];
+pub const BENCH_NAMES: &[&str] = &[
+    "gather",
+    "memsim_step",
+    "simplex_pivot",
+    "gather_par",
+    "lp_block",
+];
+
+/// Worker-pool widths measured by the thread-scaling benches.
+pub const SCALING_THREADS: &[usize] = &[1, 2, 4, 8];
 
 /// Default timed trials per implementation.
 pub const DEFAULT_TRIALS: usize = 5;
@@ -52,6 +62,15 @@ pub const SPEEDUP_LOSS_FACTOR: f64 = 2.5;
 /// this many times slower than the baseline's.
 pub const WARN_FACTOR: f64 = 1.25;
 
+/// One thread-scaling measurement of a parallelized path.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalePoint {
+    /// Worker-pool width the measurement ran at.
+    pub threads: usize,
+    /// Fastest trial at that width.
+    pub opt_min_secs: f64,
+}
+
 /// One microbench's timings.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchEntry {
@@ -67,6 +86,11 @@ pub struct BenchEntry {
     pub opt_min_secs: f64,
     /// `ref_min_secs / opt_min_secs`.
     pub speedup: f64,
+    /// Optimized-path timings across [`SCALING_THREADS`] worker-pool
+    /// widths (empty for benches without a parallel variant). Wall-clock
+    /// scaling depends on the machine's core count; the committed
+    /// baselines record what the baseline box measured.
+    pub scaling: Vec<ScalePoint>,
 }
 
 /// The whole bench report (serialized to `BENCH_*.json`).
@@ -108,20 +132,40 @@ fn entry(name: &str, ref_secs: Vec<f64>, opt_secs: Vec<f64>) -> BenchEntry {
         ref_min_secs,
         opt_min_secs,
         speedup: ref_min_secs / opt_min_secs,
+        scaling: Vec::new(),
     }
 }
 
-/// The f32 gather path: per-key `HashMap` probe + per-row copy
-/// (reference) vs the two-pass plan-then-copy gather.
-fn bench_gather(trials: usize, warmup: usize) -> BenchEntry {
+/// Times `f` across every [`SCALING_THREADS`] pool width.
+fn scale_points(trials: usize, warmup: usize, mut f: impl FnMut()) -> Vec<ScalePoint> {
+    SCALING_THREADS
+        .iter()
+        .map(|&threads| {
+            let secs =
+                emb_util::pool::with_threads(threads, || time_trials(trials, warmup, &mut f));
+            ScalePoint {
+                threads,
+                opt_min_secs: secs.iter().copied().fold(f64::INFINITY, f64::min),
+            }
+        })
+        .collect()
+}
+
+/// The shared gather fixture: a 4-GPU partition cache over 400k small
+/// (DLR-style) rows and a 100k-key Zipf batch. Small rows keep the copy
+/// cheap and the 160k-entry location maps spill out of fast cache
+/// levels, so per-key lookup cost dominates the timing.
+fn gather_fixture() -> (
+    emb_cache::MultiGpuCache,
+    emb_cache::ReferenceGatherer,
+    Vec<u32>,
+    usize,
+) {
     use cache_policy::{baselines, Hotness};
     use emb_cache::{HostTable, MultiGpuCache, ReferenceGatherer};
     use emb_util::zipf::powerlaw_hotness;
     use gpu_platform::Platform;
 
-    // Small rows (DLR-style embeddings) keep the copy cheap and the
-    // 160k-entry location maps spill out of fast cache levels, so the
-    // per-key lookup cost the optimization removes dominates the timing.
     let plat = Platform::server_a();
     let n = 400_000usize;
     let dim = 8;
@@ -133,6 +177,13 @@ fn bench_gather(trials: usize, warmup: usize) -> BenchEntry {
     let zipf = emb_util::ZipfSampler::new(n as u64, 0.9);
     let mut rng = emb_util::seed_rng(0x5EED);
     let keys: Vec<u32> = (0..100_000).map(|_| zipf.sample(&mut rng) as u32).collect();
+    (cache, reference, keys, dim)
+}
+
+/// The f32 gather path: per-key `HashMap` probe + per-row copy
+/// (reference) vs the two-pass plan-then-copy gather.
+fn bench_gather(trials: usize, warmup: usize) -> BenchEntry {
+    let (cache, reference, keys, dim) = gather_fixture();
 
     // Outside the timed region: both paths must agree exactly.
     let mut ref_out = vec![0.0f32; keys.len() * dim];
@@ -155,6 +206,127 @@ fn bench_gather(trials: usize, warmup: usize) -> BenchEntry {
         }
     });
     entry("gather", ref_secs, opt_secs)
+}
+
+/// The pooled two-pass gather: frozen per-key `HashMap` reference vs
+/// the chunked plan+copy passes on an 8-wide worker pool. Output bytes
+/// are asserted identical (the pool contract) outside the timed region;
+/// `scaling` records the pooled path at every [`SCALING_THREADS`] width
+/// (on a single-core box the widths time alike — the speedup over the
+/// reference comes from the two-pass structure, and spreads across
+/// cores on multicore machines).
+fn bench_gather_par(trials: usize, warmup: usize) -> BenchEntry {
+    let (cache, reference, keys, dim) = gather_fixture();
+
+    let mut ref_out = vec![0.0f32; keys.len() * dim];
+    let mut opt_out = vec![0.0f32; keys.len() * dim];
+    for gpu in 0..4 {
+        let ref_stats = reference.gather(&cache, gpu, &keys, &mut ref_out);
+        let opt_stats = emb_util::pool::with_threads(8, || cache.gather(gpu, &keys, &mut opt_out));
+        assert_eq!(ref_stats, opt_stats, "gather stats diverge on GPU{gpu}");
+        assert_eq!(ref_out, opt_out, "gather values diverge on GPU{gpu}");
+    }
+
+    let ref_secs = time_trials(trials, warmup, || {
+        for gpu in 0..4 {
+            std::hint::black_box(reference.gather(&cache, gpu, &keys, &mut ref_out));
+        }
+    });
+    let opt_secs = emb_util::pool::with_threads(8, || {
+        time_trials(trials, warmup, || {
+            for gpu in 0..4 {
+                std::hint::black_box(cache.gather(gpu, &keys, &mut opt_out));
+            }
+        })
+    });
+    let mut e = entry("gather_par", ref_secs, opt_secs);
+    e.scaling = scale_points(trials, warmup, || {
+        for gpu in 0..4 {
+            std::hint::black_box(cache.gather(gpu, &keys, &mut opt_out));
+        }
+    });
+    e
+}
+
+/// Per-block LP decomposition: the joint pattern LP over all hotness
+/// blocks (reference) vs independent per-block LPs on an 8-wide worker
+/// pool. Unlike the other benches the two paths are different
+/// *algorithms*, so instead of exact equality the fixture asserts
+/// outside the timed region that the decomposed placement is valid and
+/// its estimated makespan stays within 2× of the joint solution.
+fn bench_lp_block(trials: usize, warmup: usize) -> BenchEntry {
+    use cache_policy::{
+        estimate_extraction_time, BlockConfig, Hotness, SolverConfig, UGacheSolver,
+    };
+    use emb_util::zipf::powerlaw_hotness;
+    use gpu_platform::{DedicationConfig, Platform};
+
+    let solver = UGacheSolver::new(Platform::server_c(), DedicationConfig::default());
+    let h = Hotness::new(powerlaw_hotness(60_000, 1.2));
+    let caps = vec![1_500usize; 8];
+    let cfg = SolverConfig {
+        blocks: BlockConfig {
+            coarse_cap: 0.005,
+            min_splits: 8,
+            max_blocks: 128,
+        },
+        entry_bytes: 512,
+        accesses_per_iter: 1e5,
+        dedup_adjust: false,
+    };
+
+    // Outside the timed region: the decomposition must stay sane.
+    let joint = solver.solve(&h, &caps, &cfg).expect("joint LP solves");
+    let dec = emb_util::pool::with_threads(8, || {
+        solver
+            .solve_decomposed(&h, &caps, &cfg)
+            .expect("block LPs solve")
+    });
+    dec.placement
+        .validate()
+        .expect("decomposed placement valid");
+    let t_joint = estimate_extraction_time(
+        &joint.placement,
+        &h,
+        solver.profile(),
+        cfg.entry_bytes,
+        cfg.accesses_per_iter,
+    )
+    .makespan;
+    let t_dec = estimate_extraction_time(
+        &dec.placement,
+        &h,
+        solver.profile(),
+        cfg.entry_bytes,
+        cfg.accesses_per_iter,
+    )
+    .makespan;
+    assert!(
+        t_dec <= t_joint * 2.0,
+        "decomposed makespan {t_dec} vs joint {t_joint}"
+    );
+
+    let ref_secs = time_trials(trials, warmup, || {
+        std::hint::black_box(solver.solve(&h, &caps, &cfg).expect("joint LP solves"));
+    });
+    let opt_secs = emb_util::pool::with_threads(8, || {
+        time_trials(trials, warmup, || {
+            std::hint::black_box(
+                solver
+                    .solve_decomposed(&h, &caps, &cfg)
+                    .expect("block LPs solve"),
+            );
+        })
+    });
+    let mut e = entry("lp_block", ref_secs, opt_secs);
+    e.scaling = scale_points(trials, warmup, || {
+        std::hint::black_box(
+            solver
+                .solve_decomposed(&h, &caps, &cfg)
+                .expect("block LPs solve"),
+        );
+    });
+    e
 }
 
 /// The extraction event loop: per-step full rescans (reference) vs
@@ -285,6 +457,8 @@ pub fn run_benches(names: &[String], trials: usize, warmup: usize) -> Result<Ben
             "gather" => bench_gather(trials, warmup),
             "memsim_step" => bench_memsim_step(trials, warmup),
             "simplex_pivot" => bench_simplex_pivot(trials, warmup),
+            "gather_par" => bench_gather_par(trials, warmup),
+            "lp_block" => bench_lp_block(trials, warmup),
             other => unreachable!("bench `{other}` validated above"),
         })
         .collect();
@@ -311,6 +485,14 @@ pub fn render(report: &BenchReport) {
             b.opt_min_secs * 1e3,
             b.speedup
         );
+        if !b.scaling.is_empty() {
+            let points: Vec<String> = b
+                .scaling
+                .iter()
+                .map(|p| format!("{}t {:.3} ms", p.threads, p.opt_min_secs * 1e3))
+                .collect();
+            println!("  {:<14}   scaling: {}", "", points.join("   "));
+        }
     }
 }
 
@@ -429,6 +611,7 @@ mod tests {
                 ref_min_secs: opt_min * speedup,
                 opt_min_secs: opt_min,
                 speedup,
+                scaling: Vec::new(),
             }],
         };
         json::to_string_pretty(&report).unwrap()

@@ -82,6 +82,37 @@ fn parse_full_and_jobs() {
 }
 
 #[test]
+fn parse_threads_flag() {
+    let spec = run_spec(&["fig2"]);
+    assert_eq!(spec.threads, None, "flag absent leaves resolution to env");
+    let spec = run_spec(&["--threads=8", "fig2"]);
+    assert_eq!(spec.threads, Some(8));
+    let spec = run_spec(&["--threads", "2", "fig2"]);
+    assert_eq!(spec.threads, Some(2));
+    // Unlike --jobs 0 (clamped), --threads 0 is a hard error: a zero-wide
+    // pool cannot make progress and silently clamping would hide a typo.
+    let err = cli::parse(&args(&["--threads", "0", "fig2"])).unwrap_err();
+    assert!(err.contains("--threads"), "{err}");
+    let err = cli::parse(&args(&["--threads=many", "fig2"])).unwrap_err();
+    assert!(err.contains("many"), "{err}");
+    let err = cli::parse(&args(&["fig2", "--threads"])).unwrap_err();
+    assert!(err.contains("--threads"), "{err}");
+}
+
+#[test]
+fn resolve_threads_prefers_flag_then_env_then_one() {
+    assert_eq!(cli::resolve_threads(Some(4), Some("8")), Ok(4));
+    assert_eq!(cli::resolve_threads(Some(1), None), Ok(1));
+    assert_eq!(cli::resolve_threads(None, Some("8")), Ok(8));
+    assert_eq!(cli::resolve_threads(None, None), Ok(1));
+    // A malformed env var is a hard error naming the variable.
+    let err = cli::resolve_threads(None, Some("zero")).unwrap_err();
+    assert!(err.contains("REPRO_THREADS"), "{err}");
+    let err = cli::resolve_threads(None, Some("0")).unwrap_err();
+    assert!(err.contains("REPRO_THREADS"), "{err}");
+}
+
+#[test]
 fn parse_json_requires_out_and_vice_versa() {
     let err = cli::parse(&args(&["--json", "fig2"])).unwrap_err();
     assert!(err.contains("--out"), "{err}");
@@ -168,6 +199,51 @@ fn parse_bench_subcommand() {
     assert!(err.contains("nope"), "{err}");
     let err = cli::parse(&args(&["bench", "--json"])).unwrap_err();
     assert!(err.contains("--json"), "{err}");
+}
+
+#[test]
+fn compare_exit_codes_distinguish_unusable_inputs_from_gate_failures() {
+    let exe = env!("CARGO_BIN_EXE_repro");
+    let dir = std::env::temp_dir().join(format!("repro-exit-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let bench_json = |opt_min: f64, speedup: f64| {
+        format!(
+            "{{\"kind\": \"ugache-bench\", \"benches\": [{{\"name\": \"gather\", \
+             \"opt_min_secs\": {opt_min}, \"speedup\": {speedup}}}]}}\n"
+        )
+    };
+    let base = dir.join("base.json");
+    std::fs::write(&base, bench_json(0.010, 3.0)).unwrap();
+    let run = |a: &std::path::Path, b: &std::path::Path| {
+        std::process::Command::new(exe)
+            .arg("compare")
+            .arg(a)
+            .arg(b)
+            .output()
+            .expect("repro runs")
+            .status
+            .code()
+    };
+
+    // Unreadable input: exit 3, not a gate verdict.
+    assert_eq!(run(&base, &dir.join("missing.json")), Some(3));
+    // Valid JSON but not a bench report: still exit 3.
+    let alien = dir.join("alien.json");
+    std::fs::write(&alien, "{\"kind\": \"something-else\"}\n").unwrap();
+    assert_eq!(run(&base, &alien), Some(3));
+    // A genuine regression beyond the soft gate: exit 1.
+    let slow = dir.join("slow.json");
+    std::fs::write(&slow, bench_json(0.100, 0.3)).unwrap();
+    assert_eq!(run(&base, &slow), Some(1));
+    // Within tolerance: exit 0.
+    let fine = dir.join("fine.json");
+    std::fs::write(&fine, bench_json(0.011, 2.9)).unwrap();
+    assert_eq!(run(&base, &fine), Some(0));
+    // Directory mode with an unreadable side is exit 3 too.
+    assert_eq!(run(&dir.join("no-dir-a"), &dir.join("no-dir-b")), Some(3));
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -10,6 +10,14 @@ use std::cell::RefCell;
 /// Packed location-table value meaning "not cached anywhere — read host".
 const HOST_NONE: u64 = u64::MAX;
 
+/// Keys per chunk in the parallel resolve pass. Boundaries are a
+/// function of the key count only, so plans are identical at any worker
+/// count.
+const PLAN_CHUNK_KEYS: usize = 8_192;
+
+/// Output rows per chunk in the parallel copy pass.
+const COPY_CHUNK_ROWS: usize = 2_048;
+
 thread_local! {
     /// Reusable gather plan, one per thread, so steady-state gathers do
     /// not allocate. Thread-local (not shared) keeps parallel repro runs
@@ -102,15 +110,23 @@ impl MultiGpuCache {
         let mut arenas: Vec<GpuArena> =
             cap_entries.iter().map(|&c| GpuArena::new(c, dim)).collect();
 
-        // Fill arenas per the storage arrangement.
-        let mut buf = vec![0.0f32; dim];
+        // Fill arenas per the storage arrangement: materialize each GPU's
+        // resident rows in entry order, then bulk-insert so the arena's
+        // run-coalesced copy path turns the fill into block copies.
+        let mut entries: Vec<u32> = Vec::new();
+        let mut rows: Vec<f32> = Vec::new();
         for j in 0..g {
-            for e in 0..placement.num_entries {
-                if placement.stored[j][e] {
-                    host.read_into(e as u32, &mut buf);
-                    arenas[j].insert(e as u32, &buf);
-                }
+            entries.clear();
+            entries.extend(
+                (0..placement.num_entries)
+                    .filter(|&e| placement.stored[j][e])
+                    .map(|e| e as u32),
+            );
+            rows.resize(entries.len() * dim, 0.0);
+            for (i, &e) in entries.iter().enumerate() {
+                host.read_into(e, &mut rows[i * dim..(i + 1) * dim]);
             }
+            arenas[j].insert_many(&entries, &rows);
         }
 
         // Location tables per the access arrangement.
@@ -188,6 +204,47 @@ impl MultiGpuCache {
         }
     }
 
+    /// Resolves `keys` for GPU `gpu` into `plan` on the worker pool:
+    /// disjoint chunks of [`PLAN_CHUNK_KEYS`] keys write disjoint slot
+    /// ranges, per-chunk source counts are summed in chunk order.
+    /// Produces a plan bitwise-identical to
+    /// [`MultiGpuCache::plan_gather`] at any `emb_util::pool` thread
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a key is out of range.
+    pub fn plan_gather_par(&self, gpu: usize, keys: &[u32], plan: &mut GatherPlan) {
+        let g = self.num_gpus();
+        let table = &self.locations[gpu];
+        plan.reset(g);
+        plan.slots.resize(keys.len(), 0);
+        let host_tag = (g as u64) << 32;
+        let chunk_counts =
+            emb_util::pool::par_chunks_mut(&mut plan.slots, PLAN_CHUNK_KEYS, |ci, slots| {
+                let base = ci * PLAN_CHUNK_KEYS;
+                let mut counts = vec![0u64; g + 1];
+                for (j, slot) in slots.iter_mut().enumerate() {
+                    let key = keys[base + j];
+                    assert!((key as usize) < table.len(), "entry {key} out of range");
+                    let packed = table[key as usize];
+                    if packed == HOST_NONE {
+                        *slot = host_tag | key as u64;
+                        counts[g] += 1;
+                    } else {
+                        *slot = packed;
+                        counts[(packed >> 32) as usize] += 1;
+                    }
+                }
+                counts
+            });
+        for counts in chunk_counts {
+            for (total, c) in plan.counts.iter_mut().zip(counts) {
+                *total += c;
+            }
+        }
+    }
+
     /// Copies every planned row into `out` (the second gather pass):
     /// one sweep per source so each arena slab is streamed in turn.
     ///
@@ -222,11 +279,58 @@ impl MultiGpuCache {
         }
     }
 
+    /// The copy pass on the worker pool: `out` is cut into disjoint
+    /// chunks of [`COPY_CHUNK_ROWS`] rows and each chunk runs its own
+    /// per-source sweeps over its slice of the plan. The copied bytes
+    /// are identical to [`MultiGpuCache::execute_plan`] at any thread
+    /// count — every row is written exactly once, from the same source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not `plan.len() × dim` floats long.
+    pub fn execute_plan_par(&self, plan: &GatherPlan, out: &mut [f32]) {
+        let dim = self.dim();
+        assert_eq!(out.len(), plan.len() * dim, "output buffer length mismatch");
+        if out.is_empty() {
+            return;
+        }
+        let g = self.num_gpus();
+        emb_util::pool::par_chunks_mut(out, COPY_CHUNK_ROWS * dim, |ci, chunk| {
+            let row0 = ci * COPY_CHUNK_ROWS;
+            let slots = &plan.slots[row0..row0 + chunk.len() / dim];
+            for src in 0..g {
+                if plan.counts[src] == 0 {
+                    continue;
+                }
+                let slab = self.arenas[src].slab();
+                let tag = (src as u64) << 32;
+                for (k, &packed) in slots.iter().enumerate() {
+                    if packed & !0xFFFF_FFFF == tag {
+                        let base = (packed & 0xFFFF_FFFF) as usize * dim;
+                        chunk[k * dim..(k + 1) * dim].copy_from_slice(&slab[base..base + dim]);
+                    }
+                }
+            }
+            if plan.counts[g] > 0 {
+                let tag = (g as u64) << 32;
+                for (k, &packed) in slots.iter().enumerate() {
+                    if packed & !0xFFFF_FFFF == tag {
+                        let key = (packed & 0xFFFF_FFFF) as u32;
+                        self.host.read_into(key, &mut chunk[k * dim..(k + 1) * dim]);
+                    }
+                }
+            }
+        });
+    }
+
     /// Gathers `keys` for GPU `gpu` into `out` (length `keys.len() × dim`)
     /// and reports per-source counts.
     ///
     /// Internally this is [`MultiGpuCache::plan_gather`] +
-    /// [`MultiGpuCache::execute_plan`] over a thread-local reusable plan.
+    /// [`MultiGpuCache::execute_plan`] over a thread-local reusable plan;
+    /// when `emb_util::pool::current_threads() > 1` both passes run their
+    /// `_par` variants on the worker pool, which produce bitwise-identical
+    /// plans and output bytes.
     ///
     /// # Panics
     ///
@@ -237,10 +341,16 @@ impl MultiGpuCache {
             keys.len() * self.dim(),
             "output buffer length mismatch"
         );
+        let par = emb_util::pool::current_threads() > 1;
         let stats = PLAN.with(|p| {
             let mut plan = p.borrow_mut();
-            self.plan_gather(gpu, keys, &mut plan);
-            self.execute_plan(&plan, out);
+            if par {
+                self.plan_gather_par(gpu, keys, &mut plan);
+                self.execute_plan_par(&plan, out);
+            } else {
+                self.plan_gather(gpu, keys, &mut plan);
+                self.execute_plan(&plan, out);
+            }
             plan.stats(gpu)
         });
         emb_telemetry::count("cache.gathers", 1.0);
@@ -487,6 +597,37 @@ mod tests {
         // Entry 1 lives on GPU1 — untouched.
         let after = cache.gather(1, &[1], &mut [0.0f32; DIM]);
         assert_eq!(after.host, 0);
+    }
+
+    #[test]
+    fn parallel_gather_is_bitwise_identical_to_serial() {
+        let (cache, _) = setup(50);
+        // Enough keys to span several plan chunks would need >8192 keys;
+        // use a repeated mixed pattern so every source tier is exercised.
+        let keys: Vec<u32> = (0..20_000u32).map(|i| (i * 7) % N as u32).collect();
+        let mut serial_out = vec![0.0f32; keys.len() * DIM];
+        let mut serial_plan = GatherPlan::new();
+        cache.plan_gather(2, &keys, &mut serial_plan);
+        cache.execute_plan(&serial_plan, &mut serial_out);
+        for threads in [1, 2, 8] {
+            emb_util::pool::with_threads(threads, || {
+                let mut plan = GatherPlan::new();
+                cache.plan_gather_par(2, &keys, &mut plan);
+                assert_eq!(plan.counts(), serial_plan.counts(), "threads {threads}");
+                assert_eq!(plan.slots, serial_plan.slots, "threads {threads}");
+                let mut out = vec![0.0f32; keys.len() * DIM];
+                cache.execute_plan_par(&plan, &mut out);
+                for (i, (a, b)) in out.iter().zip(&serial_out).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "threads {threads}, elem {i}");
+                }
+                // The public gather dispatches on the pool width and must
+                // match too (stats and bytes).
+                let mut out2 = vec![0.0f32; keys.len() * DIM];
+                let stats = cache.gather(2, &keys, &mut out2);
+                assert_eq!(stats, serial_plan.stats(2));
+                assert_eq!(out2, serial_out);
+            });
+        }
     }
 
     #[test]

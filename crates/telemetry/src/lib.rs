@@ -144,6 +144,15 @@ pub struct HistogramSummary {
 }
 
 impl HistogramSummary {
+    /// Folds another summary into this one (as if every observation of
+    /// `other` had been recorded here, after this summary's own).
+    fn merge(&mut self, other: &HistogramSummary) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     fn record(&mut self, value: f64) {
         self.count += 1;
         self.sum += value;
@@ -394,6 +403,82 @@ pub fn event(name: &str, fields: impl FnOnce() -> Vec<(String, EventValue)>) {
             name: name.to_string(),
             fields: fields(),
         });
+    });
+}
+
+/// Merges a child-scope [`Report`] into the active scope, as if every
+/// recording in the child had happened here, in the child's order, at
+/// the moment of this call.
+///
+/// This is the merge half of the deterministic worker-pool contract
+/// (`emb_util::pool`): parallel chunks record into per-worker child
+/// scopes ([`collect`] opened on the worker thread) and the caller
+/// absorbs the resulting reports **in chunk-index order**. Semantics:
+///
+/// * **Counters** add the child's totals; **gauges** take the child's
+///   value (last write wins, in absorb order); **histograms** fold the
+///   child's digest in ([`HistogramSummary`] count/sum/min/max).
+/// * **Events** are appended with fresh sequence numbers continuing the
+///   parent's stream.
+/// * **Spans** are appended with fresh sequence numbers and rebased onto
+///   the parent timeline: the child's instant 0 maps to the parent's
+///   current [`clock_ns`] cursor, and afterwards the parent clock
+///   advances by the child's final clock value, so successive absorbed
+///   children lay out sequentially exactly as if they had run inline.
+///
+/// The merge law this is built to satisfy: for computations that end
+/// every span they begin, absorbing the reports of `collect(c1)`,
+/// `collect(c2)`, … in order leaves the active scope byte-identical to
+/// running `c1(); c2(); …` inline — which is what makes artifacts and
+/// traces independent of the worker count. No-op when no scope is
+/// active.
+pub fn absorb(child: &Report) {
+    with_active(|c| {
+        let base = c.clock_ns;
+        for (name, delta) in &child.metrics.counters {
+            match c.counters.get_mut(name) {
+                Some(v) => *v += delta,
+                None => {
+                    c.counters.insert(name.clone(), *delta);
+                }
+            }
+        }
+        for (name, value) in &child.metrics.gauges {
+            match c.gauges.get_mut(name) {
+                Some(v) => *v = *value,
+                None => {
+                    c.gauges.insert(name.clone(), *value);
+                }
+            }
+        }
+        for (name, summary) in &child.metrics.histograms {
+            match c.histograms.get_mut(name) {
+                Some(h) => h.merge(summary),
+                None => {
+                    c.histograms.insert(name.clone(), *summary);
+                }
+            }
+        }
+        for event in &child.events {
+            let seq = c.events.len() as u64;
+            c.events.push(Event {
+                seq,
+                name: event.name.clone(),
+                fields: event.fields.clone(),
+            });
+        }
+        for span in &child.spans {
+            let seq = c.spans.len() as u64;
+            c.spans.push(Span {
+                seq,
+                track: span.track.clone(),
+                name: span.name.clone(),
+                start_ns: base.saturating_add(span.start_ns),
+                end_ns: base.saturating_add(span.end_ns),
+                fields: span.fields.clone(),
+            });
+        }
+        c.clock_ns = c.clock_ns.saturating_add(child.clock_ns);
     });
 }
 
@@ -675,6 +760,97 @@ mod tests {
         });
         assert_eq!(report.spans.len(), 1);
         assert_eq!(report.spans[0].end_ns, 10);
+    }
+
+    #[test]
+    fn absorb_matches_inline_recording() {
+        // The merge law: collect each chunk, absorb in chunk order ≡ run
+        // the chunks inline, for every instrument kind.
+        let chunk = |k: u64| {
+            move || {
+                count("pool.items", k as f64 + 0.25);
+                gauge("pool.last", k as f64);
+                observe("pool.h", 1.0 / (k + 1) as f64);
+                event("pool.chunk", || vec![("k".to_string(), EventValue::U64(k))]);
+                let base = clock_ns();
+                span("t", "work", base, base + 10 * (k + 1), Vec::new);
+                advance_clock_ns(10 * (k + 1));
+            }
+        };
+        let ((), inline) = collect(|| {
+            for k in 0..4 {
+                chunk(k)();
+            }
+        });
+        let ((), merged) = collect(|| {
+            let reports: Vec<Report> = (0..4).map(|k| collect(chunk(k)).1).collect();
+            for r in &reports {
+                absorb(r);
+            }
+        });
+        assert_eq!(inline, merged);
+    }
+
+    #[test]
+    fn absorb_is_deterministic_for_f64_sums() {
+        // Chunk subtotals are folded in chunk order, so the parent total
+        // is bit-identical no matter which thread produced each report.
+        let mk = |k: usize| {
+            collect(|| {
+                for i in 0..7 {
+                    count("c", 0.1 * (k * 7 + i) as f64);
+                    observe("h", 0.3 * (k + i) as f64);
+                }
+            })
+            .1
+        };
+        let reports: Vec<Report> = (0..3).map(mk).collect();
+        let run = || {
+            collect(|| {
+                for r in &reports {
+                    absorb(r);
+                }
+            })
+            .1
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(
+            a.metrics.counters[0].1.to_bits(),
+            b.metrics.counters[0].1.to_bits()
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn absorb_outside_scope_is_a_noop() {
+        let ((), child) = collect(|| count("x", 1.0));
+        absorb(&child); // no active scope
+        let ((), report) = collect(|| {});
+        assert!(report.is_empty());
+    }
+
+    #[test]
+    fn absorb_rebases_spans_and_advances_clock() {
+        let ((), child) = collect(|| {
+            span("t", "s", 5, 15, Vec::new);
+            advance_clock_ns(20);
+        });
+        let ((), parent) = collect(|| {
+            advance_clock_ns(100);
+            absorb(&child);
+            absorb(&child);
+        });
+        assert_eq!(parent.spans.len(), 2);
+        assert_eq!(
+            (parent.spans[0].start_ns, parent.spans[0].end_ns),
+            (105, 115)
+        );
+        assert_eq!(
+            (parent.spans[1].start_ns, parent.spans[1].end_ns),
+            (125, 135)
+        );
+        assert_eq!(parent.clock_ns, 140);
+        assert_eq!(parent.spans[1].seq, 1);
     }
 
     #[test]

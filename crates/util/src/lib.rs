@@ -4,12 +4,14 @@
 //! single `u64` seed fully determines a run. [`zipf`] implements the
 //! power-law samplers that drive skewed embedding access, [`stats`]
 //! provides the histogram/percentile machinery the benchmark harness
-//! reports with, and [`time`] defines the fixed-point simulated-time type
-//! used by the platform simulator.
+//! reports with, [`time`] defines the fixed-point simulated-time type
+//! used by the platform simulator, and [`pool`] is the deterministic
+//! chunk-based worker pool behind the `--threads N` flag.
 
 #![deny(missing_docs)]
 
 pub mod fmt;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -61,23 +61,28 @@ impl DlrWorkload {
     }
 
     /// Draws the next iteration's deduplicated keys per GPU.
+    ///
+    /// Each GPU is one chunk on the `emb_util::pool` worker pool: GPU
+    /// `g` draws exclusively from `rngs[g]` (already split per GPU via
+    /// `split_seed`), so the streams are identical at any thread count
+    /// — and identical to the original sequential loop.
     pub fn next_batch(&mut self) -> Vec<Vec<u32>> {
-        let mut out = Vec::with_capacity(self.num_gpus);
-        for g in 0..self.num_gpus {
-            let rng = &mut self.rngs[g];
-            let mut keys: Vec<u32> =
-                Vec::with_capacity(self.batch_size * self.dataset.table_sizes.len());
-            for _ in 0..self.batch_size {
-                for (t, sampler) in self.samplers.iter().enumerate() {
+        let samplers = &self.samplers;
+        let dataset = &self.dataset;
+        let batch_size = self.batch_size;
+        let work: Vec<&mut StdRng> = self.rngs.iter_mut().collect();
+        emb_util::pool::par_map_owned(work, |_g, rng| {
+            let mut keys: Vec<u32> = Vec::with_capacity(batch_size * dataset.table_sizes.len());
+            for _ in 0..batch_size {
+                for (t, sampler) in samplers.iter().enumerate() {
                     let k = sampler.sample(rng);
-                    keys.push((self.dataset.table_offsets[t] + k) as u32);
+                    keys.push((dataset.table_offsets[t] + k) as u32);
                 }
             }
             keys.sort_unstable();
             keys.dedup();
-            out.push(keys);
-        }
-        out
+            keys
+        })
     }
 
     /// Mean unique keys per GPU per iteration over `iters` batches.
@@ -107,16 +112,32 @@ impl DlrWorkload {
             DlrHotness::Profiled { batches } => {
                 // Count raw request keys (pre-dedup): deduplicated batch
                 // membership saturates for hot keys and destroys ordering.
-                let mut counts = vec![0u64; self.dataset.num_entries()];
-                for _ in 0..batches {
-                    for g in 0..self.num_gpus {
-                        let rng = &mut self.rngs[g];
-                        for _ in 0..self.batch_size {
-                            for (t, sampler) in self.samplers.iter().enumerate() {
+                // Profiling parallelizes per GPU: each GPU walks its own
+                // RNG through all `batches`, and per-GPU u64 counts are
+                // summed in GPU order — identical totals at any thread
+                // count, and RNG streams identical to the sequential
+                // batch-major loop (each stream was per-GPU already).
+                let n = self.dataset.num_entries();
+                let samplers = &self.samplers;
+                let dataset = &self.dataset;
+                let batch_size = self.batch_size;
+                let work: Vec<&mut StdRng> = self.rngs.iter_mut().collect();
+                let per_gpu = emb_util::pool::par_map_owned(work, |_g, rng| {
+                    let mut counts = vec![0u64; n];
+                    for _ in 0..batches {
+                        for _ in 0..batch_size {
+                            for (t, sampler) in samplers.iter().enumerate() {
                                 let k = sampler.sample(rng);
-                                counts[(self.dataset.table_offsets[t] + k) as usize] += 1;
+                                counts[(dataset.table_offsets[t] + k) as usize] += 1;
                             }
                         }
+                    }
+                    counts
+                });
+                let mut counts = vec![0u64; n];
+                for c in per_gpu {
+                    for (total, v) in counts.iter_mut().zip(c) {
+                        *total += v;
                     }
                 }
                 Hotness::from_counts(&counts)
@@ -207,5 +228,24 @@ mod tests {
         let mut a = workload(DlrDatasetId::SynB);
         let mut b = workload(DlrDatasetId::SynB);
         assert_eq!(a.next_batch(), b.next_batch());
+    }
+
+    #[test]
+    fn stream_is_identical_at_any_thread_count() {
+        let baseline = emb_util::pool::with_threads(1, || {
+            let mut w = workload(DlrDatasetId::SynA);
+            let batches: Vec<_> = (0..3).map(|_| w.next_batch()).collect();
+            let hot = w.hotness(DlrHotness::Profiled { batches: 2 });
+            (batches, hot.ranking())
+        });
+        for threads in [2, 8] {
+            let run = emb_util::pool::with_threads(threads, || {
+                let mut w = workload(DlrDatasetId::SynA);
+                let batches: Vec<_> = (0..3).map(|_| w.next_batch()).collect();
+                let hot = w.hotness(DlrHotness::Profiled { batches: 2 });
+                (batches, hot.ranking())
+            });
+            assert_eq!(baseline, run, "threads {threads}");
+        }
     }
 }

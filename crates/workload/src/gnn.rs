@@ -115,24 +115,34 @@ impl GnnWorkload {
         self.epoch_order.len().div_ceil(global_batch).max(1)
     }
 
+    /// Draws one GPU's seed mini-batch, wrapping the epoch order.
+    fn draw_seeds(&mut self) -> Vec<u32> {
+        let mut seeds = Vec::with_capacity(self.batch_size);
+        for _ in 0..self.batch_size {
+            if self.cursor >= self.epoch_order.len() {
+                self.cursor = 0;
+            }
+            seeds.push(self.epoch_order[self.cursor]);
+            self.cursor += 1;
+        }
+        seeds
+    }
+
     /// Draws the next iteration's unique keys per GPU.
+    ///
+    /// The shared epoch cursor is walked serially (seed mini-batches are
+    /// assigned in GPU order as before); neighbourhood sampling — the
+    /// expensive part — then runs one chunk per GPU on the
+    /// `emb_util::pool` worker pool with each GPU's own split RNG, so
+    /// batches are identical at any thread count.
     pub fn next_batch(&mut self) -> Vec<Vec<u32>> {
         let sampler = self.model.sampler();
-        let mut out = Vec::with_capacity(self.num_gpus);
-        for g in 0..self.num_gpus {
-            // Wrap the epoch order as needed.
-            let mut seeds = Vec::with_capacity(self.batch_size);
-            for _ in 0..self.batch_size {
-                if self.cursor >= self.epoch_order.len() {
-                    self.cursor = 0;
-                }
-                seeds.push(self.epoch_order[self.cursor]);
-                self.cursor += 1;
-            }
-            let batch = sampler.sample(&self.dataset.graph, &seeds, &mut self.rngs[g]);
-            out.push(batch.unique_keys);
-        }
-        out
+        let seeds: Vec<Vec<u32>> = (0..self.num_gpus).map(|_| self.draw_seeds()).collect();
+        let graph = &self.dataset.graph;
+        let work: Vec<(&mut StdRng, Vec<u32>)> = self.rngs.iter_mut().zip(seeds).collect();
+        emb_util::pool::par_map_owned(work, |_g, (rng, seeds)| {
+            sampler.sample(graph, &seeds, rng).unique_keys
+        })
     }
 
     /// Mean unique keys per GPU per iteration, measured over `iters`
@@ -151,21 +161,35 @@ impl GnnWorkload {
     /// would saturate at one per batch and lose the frequency ordering.
     pub fn profile_hotness(&mut self, iters: usize) -> Hotness {
         let sampler = self.model.sampler();
-        let mut counts = vec![0u64; self.dataset.num_entries()];
+        let n = self.dataset.num_entries();
+        // Walk the shared cursor serially so seed assignment stays in
+        // (iteration, GPU) order, then sample each GPU's iterations as
+        // one pool chunk with its own RNG. Per-GPU u64 visit counts are
+        // summed in GPU order; totals are identical at any thread count.
+        let mut seed_batches: Vec<Vec<Vec<u32>>> = vec![Vec::with_capacity(iters); self.num_gpus];
         for _ in 0..iters {
             for g in 0..self.num_gpus {
-                let mut seeds = Vec::with_capacity(self.batch_size);
-                for _ in 0..self.batch_size {
-                    if self.cursor >= self.epoch_order.len() {
-                        self.cursor = 0;
-                    }
-                    seeds.push(self.epoch_order[self.cursor]);
-                    self.cursor += 1;
-                }
-                let batch = sampler.sample(&self.dataset.graph, &seeds, &mut self.rngs[g]);
+                let seeds = self.draw_seeds();
+                seed_batches[g].push(seeds);
+            }
+        }
+        let graph = &self.dataset.graph;
+        let work: Vec<(&mut StdRng, Vec<Vec<u32>>)> =
+            self.rngs.iter_mut().zip(seed_batches).collect();
+        let per_gpu = emb_util::pool::par_map_owned(work, |_g, (rng, batches)| {
+            let mut counts = vec![0u64; n];
+            for seeds in &batches {
+                let batch = sampler.sample(graph, seeds, rng);
                 for k in batch.visits {
                     counts[k as usize] += 1;
                 }
+            }
+            counts
+        });
+        let mut counts = vec![0u64; n];
+        for c in per_gpu {
+            for (total, v) in counts.iter_mut().zip(c) {
+                *total += v;
             }
         }
         Hotness::from_counts(&counts)
@@ -249,5 +273,21 @@ mod tests {
         let mut b = workload(GnnModel::Gcn);
         assert_eq!(a.next_batch(), b.next_batch());
         assert_eq!(a.next_batch(), b.next_batch());
+    }
+
+    #[test]
+    fn stream_is_identical_at_any_thread_count() {
+        let run = |threads: usize| {
+            emb_util::pool::with_threads(threads, || {
+                let mut w = workload(GnnModel::GraphSageSupervised);
+                let batches: Vec<_> = (0..3).map(|_| w.next_batch()).collect();
+                let hot = w.profile_hotness(2);
+                (batches, hot.ranking())
+            })
+        };
+        let baseline = run(1);
+        for threads in [2, 8] {
+            assert_eq!(baseline, run(threads), "threads {threads}");
+        }
     }
 }
