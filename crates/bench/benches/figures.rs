@@ -16,6 +16,8 @@ fn tiny() -> Scenario {
         gnn_batch: 128,
         dlr_batch: 128,
         iters: 1,
+        serve_users: 50_000,
+        serve_requests: 48,
     }
 }
 

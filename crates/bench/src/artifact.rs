@@ -40,8 +40,10 @@ use std::path::{Path, PathBuf};
 /// History: v1 had no `metrics` block; v2 added `metrics` (telemetry
 /// snapshot per target) and the `repro --trace` event stream; v3 added
 /// the span-derived `timeline` block and the `repro --chrome-trace` /
-/// `repro compare` surfaces.
-pub const SCHEMA_VERSION: u64 = 3;
+/// `repro compare` surfaces; v4 added the `serve` target (online
+/// serving sweep payload) and the serving knobs (`serve_users`,
+/// `serve_requests`) to every artifact's `scenario` block.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// The computed result of one repro unit, ready for rendering or
 /// serialization.
@@ -75,6 +77,8 @@ pub enum TargetData {
     Fig17(fig17::Fig17Data),
     /// Hotness-source study rows.
     Hotness(Vec<hotness_sources::SourceRow>),
+    /// Online serving sweep.
+    Serve(serve::ServeData),
 }
 
 // Untagged: the envelope's `target` field already names the variant, so
@@ -97,6 +101,7 @@ impl Serialize for TargetData {
             TargetData::Fig16(v) => v.serialize(serializer),
             TargetData::Fig17(v) => v.serialize(serializer),
             TargetData::Hotness(v) => v.serialize(serializer),
+            TargetData::Serve(v) => v.serialize(serializer),
         }
     }
 }

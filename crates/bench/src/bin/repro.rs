@@ -15,7 +15,7 @@
 //! ```
 //!
 //! Targets: table1 table3 fig2 fig4 fig6 fig8 fig9 fig10 fig11 fig12
-//! fig13 fig14 fig15 fig16 fig17 hotness. `--full` uses larger scaled
+//! fig13 fig14 fig15 fig16 fig17 hotness serve. `--full` uses larger scaled
 //! datasets (slower, smoother series); `--gnn-scale=N` / `--dlr-scale=N`
 //! override the dataset scale divisors explicitly. `--jobs N` computes
 //! targets on N worker threads; output order and artifact bytes are
@@ -328,6 +328,7 @@ fn render(target: &str, s: &Scenario, data: &TargetData) {
         ("fig16", TargetData::Fig16(v)) => fig16::render(v),
         ("fig17", TargetData::Fig17(v)) => fig17::render(v),
         ("hotness", TargetData::Hotness(v)) => hotness_sources::render(v),
+        ("serve", TargetData::Serve(v)) => serve::render(v),
         (t, _) => unreachable!("target `{t}` paired with wrong data variant"),
     }
 }

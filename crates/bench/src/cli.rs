@@ -10,7 +10,7 @@ use std::path::PathBuf;
 /// Every target the `repro` CLI accepts, in canonical execution order.
 pub const TARGETS: &[&str] = &[
     "table1", "table3", "fig2", "fig4", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "fig14", "fig15", "fig16", "fig17", "hotness",
+    "fig14", "fig15", "fig16", "fig17", "hotness", "serve",
 ];
 
 /// A validated `repro` run request.

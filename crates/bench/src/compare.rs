@@ -129,14 +129,27 @@ fn stems(dir: &Path) -> io::Result<Vec<String>> {
 /// targets are not regressions). Returns one human-readable line per
 /// violation; empty means the comparison passes.
 ///
+/// The scan never stops at the first offender: unreadable or
+/// unparseable files and missing counterparts are reported as failure
+/// lines alongside every out-of-tolerance metric of every other
+/// artifact, so one CI run shows the complete damage.
+///
 /// # Errors
 ///
-/// Returns any I/O error from listing directories or reading files.
+/// Returns an I/O error only when the baseline directory itself cannot
+/// be listed (the comparison has no meaningful partial answer then);
+/// per-file problems are reported in the failure lines instead.
 pub fn compare_dirs(baseline: &Path, new: &Path) -> io::Result<Vec<String>> {
     let mut failures = Vec::new();
     for stem in stems(baseline)? {
         let file = format!("{stem}.json");
-        let base_text = std::fs::read_to_string(baseline.join(&file))?;
+        let base_text = match std::fs::read_to_string(baseline.join(&file)) {
+            Ok(t) => t,
+            Err(e) => {
+                failures.push(format!("{file}: cannot read baseline: {e}"));
+                continue;
+            }
+        };
         let Ok(base) = json::parse(&base_text) else {
             failures.push(format!("{file}: baseline unparseable"));
             continue;
@@ -196,6 +209,51 @@ mod tests {
     fn rel_diff_handles_zero() {
         assert_eq!(rel_diff(0.0, 0.0), 0.0);
         assert!((rel_diff(1.0, 1.02) - 0.02 / 1.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compare_reports_every_offender_in_one_pass() {
+        // Two drifting artifacts, one unparseable baseline, and one file
+        // missing from the new side: a single compare_dirs call must
+        // surface all of them instead of stopping at the first.
+        let base = std::env::temp_dir().join(format!("repro-compare-all-{}", std::process::id()));
+        let b = base.join("baseline");
+        let n = base.join("new");
+        std::fs::create_dir_all(&b).unwrap();
+        std::fs::create_dir_all(&n).unwrap();
+        let envelope = |v: f64| {
+            format!(
+                r#"{{"schema_version": 4, "metrics": {{"counters": {{"x": {v}}}, "gauges": {{}}, "histograms": {{}}}}}}"#
+            )
+        };
+        std::fs::write(b.join("a.json"), envelope(1.0)).unwrap();
+        std::fs::write(n.join("a.json"), envelope(2.0)).unwrap();
+        std::fs::write(b.join("b.json"), envelope(1.0)).unwrap();
+        std::fs::write(n.join("b.json"), envelope(3.0)).unwrap();
+        std::fs::write(b.join("c.json"), "{ not json").unwrap();
+        std::fs::write(b.join("d.json"), envelope(1.0)).unwrap();
+        let failures = compare_dirs(&b, &n).unwrap();
+        std::fs::remove_dir_all(&base).unwrap();
+        assert!(
+            failures.iter().any(|f| f.starts_with("a.json:")),
+            "{failures:?}"
+        );
+        assert!(
+            failures.iter().any(|f| f.starts_with("b.json:")),
+            "{failures:?}"
+        );
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.starts_with("c.json:") && f.contains("unparseable")),
+            "{failures:?}"
+        );
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.starts_with("d.json:") && f.contains("missing from")),
+            "{failures:?}"
+        );
     }
 
     #[test]

@@ -24,5 +24,6 @@ pub mod fig14;
 pub mod fig16;
 pub mod fig17;
 pub mod hotness_sources;
+pub mod serve;
 pub mod table1;
 pub mod table3;

@@ -61,6 +61,8 @@ pub enum Unit {
     Fig17,
     /// Hotness-source study.
     Hotness,
+    /// Online serving sweep (throughput / latency tails).
+    Serve,
 }
 
 impl Unit {
@@ -84,6 +86,7 @@ impl Unit {
             "fig16" => Unit::Fig16,
             "fig17" => Unit::Fig17,
             "hotness" => Unit::Hotness,
+            "serve" => Unit::Serve,
             _ => return None,
         })
     }
@@ -105,6 +108,7 @@ impl Unit {
             Unit::Fig16 => TargetData::Fig16(fig16::compute(s)),
             Unit::Fig17 => TargetData::Fig17(fig17::compute(s)),
             Unit::Hotness => TargetData::Hotness(hotness_sources::compute(s)),
+            Unit::Serve => TargetData::Serve(serve::compute(s)),
         }
     }
 

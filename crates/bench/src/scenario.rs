@@ -27,6 +27,10 @@ pub struct Scenario {
     pub dlr_batch: usize,
     /// Iterations measured per data point.
     pub iters: usize,
+    /// Simulated client population of the serving sweep.
+    pub serve_users: usize,
+    /// Requests served per offered-load level of the serving sweep.
+    pub serve_requests: usize,
 }
 
 impl Scenario {
@@ -38,6 +42,8 @@ impl Scenario {
             gnn_batch: 512,
             dlr_batch: 512,
             iters: 2,
+            serve_users: 200_000,
+            serve_requests: 160,
         }
     }
 
@@ -49,6 +55,8 @@ impl Scenario {
             gnn_batch: 1024,
             dlr_batch: 1024,
             iters: 3,
+            serve_users: 2_000_000,
+            serve_requests: 512,
         }
     }
 

@@ -1,8 +1,8 @@
 //! Integration tests for the span profiler surface: Chrome-trace
-//! byte-determinism across `--jobs`, the v3 artifact timeline block,
+//! byte-determinism across `--jobs`, the artifact timeline block,
 //! and the `repro compare` perf-regression gate.
 
-use ugache_bench::artifact::Artifact;
+use ugache_bench::artifact::{Artifact, SCHEMA_VERSION};
 use ugache_bench::runner::{run_units, units_for, Unit};
 use ugache_bench::{chrome, compare, json, timeline, Scenario};
 
@@ -13,6 +13,8 @@ fn tiny() -> Scenario {
         gnn_batch: 128,
         dlr_batch: 128,
         iters: 1,
+        serve_users: 50_000,
+        serve_requests: 48,
     }
 }
 
@@ -65,7 +67,7 @@ fn chrome_trace_is_byte_identical_serial_vs_parallel() {
 }
 
 #[test]
-fn v3_artifacts_carry_populated_timeline_blocks() {
+fn artifacts_carry_populated_timeline_blocks() {
     let s = tiny();
     let result = Unit::Fig10And11.compute_with_telemetry(&s);
     let tl = timeline::from_report(&result.telemetry);
@@ -79,7 +81,7 @@ fn v3_artifacts_carry_populated_timeline_blocks() {
     let v = json::parse(&artifact.to_json()).expect("artifact parses");
     assert_eq!(
         v.get("schema_version").unwrap(),
-        &json::Value::Num("3".to_string())
+        &json::Value::Num(SCHEMA_VERSION.to_string())
     );
     let timeline = v.get("timeline").expect("timeline block present");
     let extent: u64 = match timeline.get("extent_ns").expect("extent_ns") {

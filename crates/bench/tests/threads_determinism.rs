@@ -15,12 +15,14 @@ fn tiny() -> Scenario {
         gnn_batch: 128,
         dlr_batch: 128,
         iters: 1,
+        serve_users: 50_000,
+        serve_requests: 48,
     }
 }
 
 /// Cheap targets that walk the pooled paths: DLR and GNN workload
 /// generation (`next_batch`, hotness profiling) feed every one of these.
-const TARGETS: &[&str] = &["table1", "fig2", "fig9", "fig14"];
+const TARGETS: &[&str] = &["table1", "fig2", "fig9", "fig14", "serve"];
 
 fn run_at(threads: usize) -> Vec<UnitResult> {
     let targets: Vec<String> = TARGETS.iter().map(|t| t.to_string()).collect();

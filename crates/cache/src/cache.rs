@@ -205,7 +205,7 @@ impl MultiGpuCache {
     }
 
     /// Resolves `keys` for GPU `gpu` into `plan` on the worker pool:
-    /// disjoint chunks of [`PLAN_CHUNK_KEYS`] keys write disjoint slot
+    /// disjoint chunks of `PLAN_CHUNK_KEYS` keys write disjoint slot
     /// ranges, per-chunk source counts are summed in chunk order.
     /// Produces a plan bitwise-identical to
     /// [`MultiGpuCache::plan_gather`] at any `emb_util::pool` thread
@@ -280,7 +280,7 @@ impl MultiGpuCache {
     }
 
     /// The copy pass on the worker pool: `out` is cut into disjoint
-    /// chunks of [`COPY_CHUNK_ROWS`] rows and each chunk runs its own
+    /// chunks of `COPY_CHUNK_ROWS` rows and each chunk runs its own
     /// per-source sweeps over its slice of the plan. The copied bytes
     /// are identical to [`MultiGpuCache::execute_plan`] at any thread
     /// count — every row is written exactly once, from the same source.

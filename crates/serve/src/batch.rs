@@ -1,0 +1,117 @@
+//! The admission queue's dynamic micro-batching rule.
+
+use emb_util::SimTime;
+
+/// One admitted batch: which pending requests it takes and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchAdmission {
+    /// Number of requests admitted (starting at the oldest pending one).
+    pub count: usize,
+    /// When the batch started forming: the later of the server freeing
+    /// up and the oldest pending request's arrival.
+    pub start: SimTime,
+    /// When the batch dispatches to the extractor: the instant it
+    /// filled, or `start + window` if it timed out below `max_batch`.
+    pub dispatch: SimTime,
+}
+
+/// Decides the next micro-batch.
+///
+/// `arrivals` are the arrival instants of all requests in arrival
+/// order; `next` indexes the oldest not-yet-served request; `free` is
+/// when the server finishes its current extraction. The batch begins
+/// forming at `max(free, arrivals[next])`, admits requests in arrival
+/// order, and dispatches as soon as it holds `max_batch` requests —
+/// or at the window deadline with whatever arrived by then. Any backlog
+/// accumulated while the server was busy is admitted instantly, so a
+/// saturated server always dispatches full batches with no added window
+/// wait.
+///
+/// Returns `None` once every request is served.
+///
+/// # Panics
+///
+/// Panics if `max_batch` is zero.
+pub fn next_admission(
+    arrivals: &[SimTime],
+    next: usize,
+    free: SimTime,
+    max_batch: usize,
+    window: SimTime,
+) -> Option<BatchAdmission> {
+    assert!(max_batch > 0, "batches must admit at least one request");
+    if next >= arrivals.len() {
+        return None;
+    }
+    let start = free.max(arrivals[next]);
+    let deadline = start + window;
+    let mut count = 0;
+    while count < max_batch {
+        match arrivals.get(next + count) {
+            Some(&t) if t <= deadline => count += 1,
+            _ => break,
+        }
+    }
+    let dispatch = if count == max_batch {
+        // Filled: dispatch the moment the last member arrived (or
+        // immediately, if the backlog alone filled it).
+        start.max(arrivals[next + count - 1])
+    } else {
+        deadline
+    };
+    Some(BatchAdmission {
+        count,
+        start,
+        dispatch,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn backlog_fills_a_batch_instantly() {
+        let arrivals: Vec<SimTime> = (1..=8).map(ms).collect();
+        let a = next_admission(&arrivals, 0, ms(100), 4, ms(5)).unwrap();
+        assert_eq!(a.count, 4);
+        assert_eq!(a.start, ms(100));
+        assert_eq!(a.dispatch, ms(100));
+    }
+
+    #[test]
+    fn window_timeout_dispatches_partial_batch() {
+        let arrivals = vec![ms(10), ms(12), ms(40)];
+        let a = next_admission(&arrivals, 0, SimTime::ZERO, 8, ms(5)).unwrap();
+        assert_eq!(a.count, 2);
+        assert_eq!(a.start, ms(10));
+        assert_eq!(a.dispatch, ms(15));
+    }
+
+    #[test]
+    fn batch_that_fills_mid_window_dispatches_early() {
+        let arrivals = vec![ms(10), ms(11), ms(12), ms(13)];
+        let a = next_admission(&arrivals, 0, SimTime::ZERO, 3, ms(50)).unwrap();
+        assert_eq!(a.count, 3);
+        assert_eq!(a.dispatch, ms(12));
+    }
+
+    #[test]
+    fn served_trace_yields_none() {
+        let arrivals = vec![ms(1)];
+        assert!(next_admission(&arrivals, 1, SimTime::ZERO, 4, ms(5)).is_none());
+    }
+
+    #[test]
+    fn lone_tail_request_waits_out_the_window() {
+        let arrivals = vec![ms(500)];
+        let a = next_admission(&arrivals, 0, ms(2), 16, ms(3)).unwrap();
+        assert_eq!(a.count, 1);
+        assert_eq!(a.start, ms(500));
+        assert_eq!(a.dispatch, ms(503));
+    }
+}

@@ -1,0 +1,436 @@
+//! The serving engine: drives a [`UGache`] through micro-batched
+//! request traffic and accounts per-request latency on the virtual
+//! clock.
+
+use crate::batch::next_admission;
+use crate::clients::ClientPopulation;
+use crate::{PoissonArrivals, ServeConfig};
+use emb_util::stats::percentile;
+use emb_util::{seed_rng, split_seed, SimTime};
+use gpu_platform::Location;
+use ugache::UGache;
+
+/// Seed-split label for each load point's arrival process.
+const ARRIVAL_STREAM: u64 = 0xA22100;
+/// Seed-split label for each load point's user-pick stream.
+const USER_PICK_STREAM: u64 = 0x05E200;
+/// Seed-split label for the capacity probe's user-pick stream.
+const CAPACITY_STREAM: u64 = 0xCA9AC1;
+
+/// Throughput and latency summary of one offered-load level.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct LoadSample {
+    /// Offered load (requests per second of virtual time).
+    pub offered_rps: f64,
+    /// Completed requests over the span from first arrival to last
+    /// completion.
+    pub achieved_rps: f64,
+    /// Requests served.
+    pub requests: u64,
+    /// Extraction batches dispatched.
+    pub batches: u64,
+    /// Mean requests coalesced per batch.
+    pub mean_batch: f64,
+    /// Median request latency (ms of virtual time).
+    pub p50_ms: f64,
+    /// 99th-percentile request latency (ms).
+    pub p99_ms: f64,
+    /// 99.9th-percentile request latency (ms).
+    pub p999_ms: f64,
+    /// Worst request latency (ms).
+    pub max_ms: f64,
+    /// Mean time spent waiting for the server to free up (ms).
+    pub mean_queue_ms: f64,
+    /// Mean time spent waiting for the batch to fill or time out (ms).
+    pub mean_batch_wait_ms: f64,
+    /// Mean extraction time per request (ms).
+    pub mean_extract_ms: f64,
+    /// Fraction of extracted keys served from the local GPU arena.
+    pub local_frac: f64,
+    /// Fraction served from remote GPU arenas.
+    pub remote_frac: f64,
+    /// Fraction served from the host table.
+    pub host_frac: f64,
+}
+
+/// Latency percentiles of a set of requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Median latency (ms).
+    pub p50_ms: f64,
+    /// 99th percentile (ms).
+    pub p99_ms: f64,
+    /// 99.9th percentile (ms).
+    pub p999_ms: f64,
+    /// Maximum (ms).
+    pub max_ms: f64,
+    /// Mean (ms).
+    pub mean_ms: f64,
+}
+
+/// Summarizes nanosecond latencies into p50/p99/p999/max/mean
+/// milliseconds via the exact nearest-rank estimator
+/// ([`emb_util::stats::percentile`]).
+///
+/// Returns zeros for an empty input.
+pub fn summarize_latencies(latencies_ns: &[u64]) -> LatencySummary {
+    let ms: Vec<f64> = latencies_ns.iter().map(|&ns| ns as f64 / 1e6).collect();
+    let pct = |p: f64| percentile(&ms, p).unwrap_or(0.0);
+    LatencySummary {
+        p50_ms: pct(50.0),
+        p99_ms: pct(99.0),
+        p999_ms: pct(99.9),
+        max_ms: pct(100.0),
+        mean_ms: if ms.is_empty() {
+            0.0
+        } else {
+            ms.iter().sum::<f64>() / ms.len() as f64
+        },
+    }
+}
+
+/// Coalesces the admitted requests' keys into per-GPU shards
+/// (`key % num_gpus`), sorted and deduplicated like every other batch
+/// the cache sees.
+fn shard_keys<'a>(keys: impl Iterator<Item = &'a [u32]>, num_gpus: usize) -> Vec<Vec<u32>> {
+    let mut shards = vec![Vec::new(); num_gpus];
+    for req_keys in keys {
+        for &k in req_keys {
+            shards[k as usize % num_gpus].push(k);
+        }
+    }
+    for shard in &mut shards {
+        shard.sort_unstable();
+        shard.dedup();
+    }
+    shards
+}
+
+/// Runs one coalesced extraction and returns `(makespan, local, remote,
+/// host)` where the last three are extracted-key counts per tier.
+fn extract_batch(u: &mut UGache, shards: &[Vec<u32>], entry_bytes: usize) -> (SimTime, [f64; 3]) {
+    let r = u.process_iteration(shards);
+    let mut tiers = [0.0f64; 3];
+    for g in &r.extract.per_gpu {
+        for lu in &g.per_src {
+            let keys = lu.bytes / entry_bytes as f64;
+            match lu.src {
+                Location::Gpu(src) if src == g.gpu => tiers[0] += keys,
+                Location::Gpu(_) => tiers[1] += keys,
+                Location::Host => tiers[2] += keys,
+            }
+        }
+    }
+    (r.extract.makespan, tiers)
+}
+
+/// Estimates the server's saturation throughput: one full
+/// `max_batch`-request extraction is simulated and the capacity is
+/// `max_batch / makespan`. The harness sweeps offered load as multiples
+/// of this estimate.
+pub fn estimate_capacity_rps(
+    u: &mut UGache,
+    cfg: &ServeConfig,
+    clients: &mut ClientPopulation,
+) -> f64 {
+    let mut rng = seed_rng(split_seed(cfg.seed, CAPACITY_STREAM));
+    let requests: Vec<Vec<u32>> = (0..cfg.max_batch)
+        .map(|_| clients.next_request(&mut rng).keys)
+        .collect();
+    let shards = shard_keys(requests.iter().map(Vec::as_slice), u.platform().num_gpus());
+    let (makespan, _) = extract_batch(u, &shards, cfg.entry_bytes);
+    let capacity = cfg.max_batch as f64 / makespan.as_secs_f64().max(1e-12);
+    emb_telemetry::event("serve.capacity", || {
+        vec![
+            (
+                "capacity_rps".to_string(),
+                emb_telemetry::EventValue::F64(capacity),
+            ),
+            (
+                "probe_makespan_secs".to_string(),
+                emb_telemetry::EventValue::F64(makespan.as_secs_f64()),
+            ),
+        ]
+    });
+    capacity
+}
+
+/// Serves `cfg.requests` requests at `offered_rps` through `u` and
+/// summarizes throughput and latency.
+///
+/// `point` labels this load level's seed-split streams, so every level
+/// of a sweep draws independent, reproducible arrivals and users.
+///
+/// Per request, latency decomposes as queueing (arrival until the batch
+/// starts forming) + batching (until dispatch) + extraction (the
+/// coalesced multi-GPU extraction's makespan), all in exact nanosecond
+/// arithmetic on the simulated clock. The engine advances `u`'s virtual
+/// clock across idle gaps so the telemetry scope timeline mirrors
+/// serving time, records one `serve/batches` span per dispatched batch,
+/// and emits a `serve.load_point` summary event.
+///
+/// # Panics
+///
+/// Panics if `cfg.max_batch` is zero or a drawn key falls outside the
+/// served table (a `cfg.num_keys` / cache-size mismatch).
+pub fn run_load_point(
+    u: &mut UGache,
+    cfg: &ServeConfig,
+    clients: &mut ClientPopulation,
+    point: u64,
+    offered_rps: f64,
+) -> LoadSample {
+    let num_gpus = u.platform().num_gpus();
+    let mut arrivals_rng =
+        PoissonArrivals::new(split_seed(cfg.seed, ARRIVAL_STREAM ^ point), offered_rps);
+    let mut user_rng = seed_rng(split_seed(cfg.seed, USER_PICK_STREAM ^ point));
+    let arrivals = arrivals_rng.take(cfg.requests);
+    let request_keys: Vec<Vec<u32>> = (0..cfg.requests)
+        .map(|_| clients.next_request(&mut user_rng).keys)
+        .collect();
+
+    let mut next = 0usize;
+    let mut free = SimTime::ZERO;
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(cfg.requests);
+    let mut queue_ns_total = 0u64;
+    let mut batch_wait_ns_total = 0u64;
+    let mut extract_ns_total = 0u64;
+    let mut batches = 0u64;
+    let mut tier_keys = [0.0f64; 3];
+    let mut last_completion = SimTime::ZERO;
+
+    while let Some(adm) = next_admission(&arrivals, next, free, cfg.max_batch, cfg.batch_window) {
+        let members = next..next + adm.count;
+        let shards = shard_keys(
+            members.clone().map(|i| request_keys[i].as_slice()),
+            num_gpus,
+        );
+        let coalesced: usize = shards.iter().map(Vec::len).sum();
+        // Keep the telemetry scope clock aligned with serving time: the
+        // gap between the previous completion and this dispatch is idle.
+        u.advance_clock(adm.dispatch.saturating_sub(free).as_secs_f64());
+        let span_base = emb_telemetry::clock_ns();
+        let (makespan, tiers) = extract_batch(u, &shards, cfg.entry_bytes);
+        emb_telemetry::span(
+            "serve/batches",
+            "batch",
+            span_base,
+            emb_telemetry::clock_ns(),
+            || {
+                vec![
+                    (
+                        "requests".to_string(),
+                        emb_telemetry::EventValue::U64(adm.count as u64),
+                    ),
+                    (
+                        "coalesced_keys".to_string(),
+                        emb_telemetry::EventValue::U64(coalesced as u64),
+                    ),
+                ]
+            },
+        );
+        let completion = adm.dispatch + makespan;
+        for i in members {
+            let arrival = arrivals[i];
+            let queue = adm.start.saturating_sub(arrival);
+            let batch_wait = adm.dispatch.saturating_sub(arrival.max(adm.start));
+            let latency = (completion.saturating_sub(arrival)).as_nanos();
+            queue_ns_total += queue.as_nanos();
+            batch_wait_ns_total += batch_wait.as_nanos();
+            extract_ns_total += makespan.as_nanos();
+            latencies_ns.push(latency);
+            emb_telemetry::observe("serve.latency_ms", latency as f64 / 1e6);
+            emb_telemetry::observe("serve.queue_ms", queue.as_nanos() as f64 / 1e6);
+        }
+        emb_telemetry::count("serve.requests", adm.count as f64);
+        emb_telemetry::count("serve.batches", 1.0);
+        emb_telemetry::observe("serve.batch_size", adm.count as f64);
+        emb_telemetry::count("serve.keys.local", tiers[0]);
+        emb_telemetry::count("serve.keys.remote", tiers[1]);
+        emb_telemetry::count("serve.keys.host", tiers[2]);
+        for t in 0..3 {
+            tier_keys[t] += tiers[t];
+        }
+        batches += 1;
+        free = completion;
+        last_completion = completion;
+        next += adm.count;
+    }
+
+    let served = latencies_ns.len() as u64;
+    let span_secs = last_completion
+        .saturating_sub(arrivals.first().copied().unwrap_or(SimTime::ZERO))
+        .as_secs_f64();
+    let achieved_rps = if span_secs > 0.0 {
+        served as f64 / span_secs
+    } else {
+        0.0
+    };
+    let lat = summarize_latencies(&latencies_ns);
+    let per_req_ms = |total_ns: u64| {
+        if served == 0 {
+            0.0
+        } else {
+            total_ns as f64 / 1e6 / served as f64
+        }
+    };
+    let total_keys: f64 = tier_keys.iter().sum();
+    let frac = |t: usize| {
+        if total_keys > 0.0 {
+            tier_keys[t] / total_keys
+        } else {
+            0.0
+        }
+    };
+    let sample = LoadSample {
+        offered_rps,
+        achieved_rps,
+        requests: served,
+        batches,
+        mean_batch: if batches == 0 {
+            0.0
+        } else {
+            served as f64 / batches as f64
+        },
+        p50_ms: lat.p50_ms,
+        p99_ms: lat.p99_ms,
+        p999_ms: lat.p999_ms,
+        max_ms: lat.max_ms,
+        mean_queue_ms: per_req_ms(queue_ns_total),
+        mean_batch_wait_ms: per_req_ms(batch_wait_ns_total),
+        mean_extract_ms: per_req_ms(extract_ns_total),
+        local_frac: frac(0),
+        remote_frac: frac(1),
+        host_frac: frac(2),
+    };
+    emb_telemetry::event("serve.load_point", || {
+        vec![
+            (
+                "offered_rps".to_string(),
+                emb_telemetry::EventValue::F64(sample.offered_rps),
+            ),
+            (
+                "achieved_rps".to_string(),
+                emb_telemetry::EventValue::F64(sample.achieved_rps),
+            ),
+            (
+                "requests".to_string(),
+                emb_telemetry::EventValue::U64(sample.requests),
+            ),
+            (
+                "batches".to_string(),
+                emb_telemetry::EventValue::U64(sample.batches),
+            ),
+            (
+                "p50_ms".to_string(),
+                emb_telemetry::EventValue::F64(sample.p50_ms),
+            ),
+            (
+                "p99_ms".to_string(),
+                emb_telemetry::EventValue::F64(sample.p99_ms),
+            ),
+            (
+                "p999_ms".to_string(),
+                emb_telemetry::EventValue::F64(sample.p999_ms),
+            ),
+        ]
+    });
+    sample
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_policy::Hotness;
+    use emb_cache::HostTable;
+    use emb_util::zipf::powerlaw_hotness;
+    use gpu_platform::Platform;
+    use ugache::{UGache, UGacheConfig};
+
+    const N: usize = 2_000;
+    const DIM: usize = 8;
+
+    fn build() -> UGache {
+        let platform = Platform::server_a();
+        let host = HostTable::procedural(N, DIM);
+        let hotness = Hotness::new(powerlaw_hotness(N, 1.1));
+        let mut cfg = UGacheConfig::new(DIM * 4, 200.0);
+        cfg.solver.blocks.max_blocks = 32;
+        cfg.solver.blocks.min_splits = 4;
+        UGache::build(platform, host, &hotness, vec![300; 4], cfg).unwrap()
+    }
+
+    fn cfg() -> ServeConfig {
+        ServeConfig {
+            seed: 0x5EED,
+            num_users: 50_000,
+            num_keys: N as u64,
+            user_alpha: 1.1,
+            keys_per_request: 8,
+            entry_bytes: DIM * 4,
+            max_batch: 8,
+            batch_window: SimTime::from_micros(200),
+            requests: 64,
+        }
+    }
+
+    fn run_once(offered: f64) -> LoadSample {
+        let c = cfg();
+        let mut u = build();
+        let mut clients = ClientPopulation::new(
+            c.seed,
+            c.num_users,
+            c.num_keys,
+            c.user_alpha,
+            c.keys_per_request,
+        );
+        run_load_point(&mut u, &c, &mut clients, 0, offered)
+    }
+
+    #[test]
+    fn serves_every_request_and_orders_percentiles() {
+        let s = run_once(20_000.0);
+        assert_eq!(s.requests, 64);
+        assert!(s.batches > 0 && s.batches <= 64);
+        assert!(s.p50_ms > 0.0);
+        assert!(s.p50_ms <= s.p99_ms);
+        assert!(s.p99_ms <= s.p999_ms);
+        assert!(s.p999_ms <= s.max_ms);
+        assert!(s.achieved_rps > 0.0);
+        let fracs = s.local_frac + s.remote_frac + s.host_frac;
+        assert!((fracs - 1.0).abs() < 1e-9, "tier fractions sum to {fracs}");
+    }
+
+    #[test]
+    fn identical_runs_are_identical() {
+        assert_eq!(run_once(15_000.0), run_once(15_000.0));
+    }
+
+    #[test]
+    fn overload_queues_longer_than_light_load() {
+        let c = cfg();
+        let mut u = build();
+        let mut clients = ClientPopulation::new(
+            c.seed,
+            c.num_users,
+            c.num_keys,
+            c.user_alpha,
+            c.keys_per_request,
+        );
+        let capacity = estimate_capacity_rps(&mut u, &c, &mut clients);
+        assert!(capacity > 0.0);
+        let light = run_load_point(&mut u, &c, &mut clients, 0, capacity * 0.2);
+        let heavy = run_load_point(&mut u, &c, &mut clients, 1, capacity * 3.0);
+        // Under light load the batching window dominates latency, so the
+        // discriminating signal of overload is queueing delay (and fuller
+        // batches), not the raw percentile.
+        assert!(
+            heavy.mean_queue_ms > light.mean_queue_ms,
+            "overload queue {} vs light queue {}",
+            heavy.mean_queue_ms,
+            light.mean_queue_ms
+        );
+        assert!(heavy.mean_batch >= light.mean_batch);
+        assert!(heavy.achieved_rps < capacity * 3.0);
+    }
+}

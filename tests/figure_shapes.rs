@@ -15,6 +15,8 @@ fn tiny() -> Scenario {
         gnn_batch: 128,
         dlr_batch: 128,
         iters: 1,
+        serve_users: 50_000,
+        serve_requests: 48,
     }
 }
 
@@ -266,4 +268,46 @@ fn fig14_split_shapes() {
         pa_hi > pa_lo,
         "UGache/PA local share must grow: {pa_lo} -> {pa_hi}"
     );
+}
+
+#[test]
+fn serve_latency_curves_have_serving_shape() {
+    let d = serve::compute(&tiny());
+    assert!(d.capacity_rps > 0.0, "capacity probe must be positive");
+    assert_eq!(d.points.len(), serve::LOAD_FACTORS.len());
+    for p in &d.points {
+        let s = &p.sample;
+        assert_eq!(s.requests as usize, tiny().serve_requests);
+        // Percentiles are ordered at every operating point.
+        assert!(s.p50_ms > 0.0);
+        assert!(s.p50_ms <= s.p99_ms && s.p99_ms <= s.p999_ms && s.p999_ms <= s.max_ms);
+        // Extraction tier fractions partition the extracted keys.
+        let fracs = s.local_frac + s.remote_frac + s.host_frac;
+        assert!((fracs - 1.0).abs() < 1e-9, "tier fractions sum to {fracs}");
+        assert!(s.mean_batch >= 1.0);
+    }
+    let light = &d.points.first().unwrap().sample;
+    let heavy = &d.points.last().unwrap().sample;
+    // Below saturation the server keeps up with offered load; past the
+    // capacity knee it cannot (achieved < offered) and the queue grows.
+    assert!(
+        light.achieved_rps > light.offered_rps * 0.5,
+        "light load underserved: achieved {} of offered {}",
+        light.achieved_rps,
+        light.offered_rps
+    );
+    assert!(
+        heavy.achieved_rps < heavy.offered_rps,
+        "overload must saturate: achieved {} vs offered {}",
+        heavy.achieved_rps,
+        heavy.offered_rps
+    );
+    assert!(
+        heavy.mean_queue_ms > light.mean_queue_ms,
+        "queueing delay must grow with load: {} -> {}",
+        light.mean_queue_ms,
+        heavy.mean_queue_ms
+    );
+    // Batching coalesces harder under pressure.
+    assert!(heavy.mean_batch >= light.mean_batch);
 }

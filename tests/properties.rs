@@ -5,6 +5,7 @@ use gpu_memsim::{simulate, DispatchMode, GpuWork, SimConfig, SourceDemand};
 use gpu_platform::{DedicationConfig, Location, Platform};
 use milp::{ConstraintSense, LinExpr, Model};
 use proptest::prelude::*;
+use rand::Rng;
 
 fn hotness_strategy(max_n: usize) -> impl Strategy<Value = Hotness> {
     prop::collection::vec(0.0f64..10.0, 2..max_n).prop_map(Hotness::new)
@@ -212,6 +213,71 @@ proptest! {
         // Head rank beats the per-rank average of the deep tail.
         let tail_per_rank = tail as f64 / (n as f64 / 4.0).max(1.0);
         prop_assert!(head as f64 + 1.0 >= tail_per_rank);
+    }
+
+    /// The latency-percentile estimator returns exactly the nearest-rank
+    /// order statistic: on a shuffled uniform grid `0, 1, .., n-1` the
+    /// p-th percentile is `round(p/100 * (n-1))` — in particular p50,
+    /// p99, and p999 land on their analytically known ranks.
+    #[test]
+    fn percentile_matches_uniform_grid_rank(
+        n in 2usize..4_000,
+        seed in 0u64..50,
+        p in 0.0f64..100.0,
+    ) {
+        let mut xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        // Shuffle with the workspace RNG: percentile must not depend on
+        // input order.
+        let mut rng = emb_util::seed_rng(seed);
+        for i in (1..xs.len()).rev() {
+            let j = rng.gen_range(0..(i as u64 + 1)) as usize;
+            xs.swap(i, j);
+        }
+        for q in [50.0, 99.0, 99.9, p] {
+            let expect = (q / 100.0 * (n - 1) as f64).round();
+            prop_assert_eq!(emb_util::stats::percentile(&xs, q), Some(expect));
+        }
+    }
+
+    /// On exponential samples built from the inverse CDF at grid
+    /// quantiles, the estimated p50/p99/p999 converge to the analytic
+    /// quantiles `-ln(1 - p/100) / lambda` of the distribution.
+    #[test]
+    fn percentile_matches_exponential_quantiles(lambda in 0.5f64..50.0) {
+        let n = 20_000usize;
+        let xs: Vec<f64> = (0..n)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / n as f64;
+                -(1.0 - u).ln() / lambda
+            })
+            .collect();
+        for q in [50.0f64, 99.0, 99.9] {
+            let analytic = -(1.0 - q / 100.0).ln() / lambda;
+            let est = emb_util::stats::percentile(&xs, q).unwrap();
+            prop_assert!(
+                (est - analytic).abs() / analytic < 0.02,
+                "p{q}: estimate {est} vs analytic {analytic}"
+            );
+        }
+    }
+
+    /// Percentiles are always an element of the input and monotone
+    /// non-decreasing in `p`, bracketed by the min and max.
+    #[test]
+    fn percentile_is_an_element_and_monotone(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..300),
+        p_lo in 0.0f64..100.0,
+        p_hi in 0.0f64..100.0,
+    ) {
+        let (lo, hi) = if p_lo <= p_hi { (p_lo, p_hi) } else { (p_hi, p_lo) };
+        let a = emb_util::stats::percentile(&xs, lo).unwrap();
+        let b = emb_util::stats::percentile(&xs, hi).unwrap();
+        prop_assert!(xs.contains(&a) && xs.contains(&b));
+        prop_assert!(a <= b);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(emb_util::stats::percentile(&xs, 0.0), Some(min));
+        prop_assert_eq!(emb_util::stats::percentile(&xs, 100.0), Some(max));
     }
 
     /// Dedup adjustment preserves hotness order and caps weights at 1.
