@@ -10,6 +10,9 @@
 //! repro compare <baseline-bench.json> <new-bench.json>
 //! repro bench [--trials N] [--warmup N] [--out FILE] [NAME...]
 //! repro check-trace <trace.json>
+//! repro scenarios [--md | --check [--file PATH]]
+//! repro record <scenario> --out TRACE [--iters N] [--full] [--threads N]
+//! repro replay TRACE [--policy P] [--platform PL] [--out FILE] [--threads N]
 //! repro list
 //! repro all
 //! ```
@@ -36,6 +39,12 @@
 //! directories; `repro compare` gates a fresh directory against a
 //! baseline using per-metric tolerances (non-zero exit on regression);
 //! `repro check-trace` validates a Chrome trace file structurally.
+//! `repro scenarios` lists the scenario registry (`--md` renders the
+//! SCENARIOS.md catalog, `--check` gates the committed file against the
+//! registry); `repro record` captures a registered scenario's access
+//! stream to a UGTR trace and `repro replay` replays a trace under any
+//! policy on any platform (see EXPERIMENTS.md, "Scenario registry and
+//! access traces", for the wire format and exit codes).
 //! `repro bench` times the optimized hot paths against their frozen
 //! reference implementations (wall clock; simulated results are
 //! asserted identical) and writes a `BENCH_*.json` report with `--out`;
@@ -48,7 +57,10 @@ use ugache_bench::artifact::{
 use ugache_bench::cli::{self, Command, RunSpec};
 use ugache_bench::figures::*;
 use ugache_bench::runner::{run_units, units_for, Unit, UnitResult};
-use ugache_bench::{chrome, compare, json, microbench, profile, timeline, Scenario};
+use ugache_bench::scenario::registry;
+use ugache_bench::{
+    catalog, chrome, compare, json, microbench, profile, replay, timeline, Scenario,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -75,6 +87,13 @@ fn main() {
                 microbench::BENCH_NAMES.join("|")
             );
             println!("       repro check-trace <trace.json>");
+            println!("       repro scenarios [--md | --check [--file PATH]]");
+            println!(
+                "       repro record <scenario> --out TRACE [--iters N] [--full] [--threads N]"
+            );
+            println!(
+                "       repro replay TRACE [--policy P] [--platform PL] [--out FILE] [--threads N]"
+            );
         }
         Command::Diff { a, b } => {
             let diffs = match diff_dirs(&a, &b) {
@@ -200,19 +219,142 @@ fn main() {
                 }
             }
         }
-        Command::Run(spec) => {
-            let env = std::env::var("REPRO_THREADS").ok();
-            let threads = match cli::resolve_threads(spec.threads, env.as_deref()) {
-                Ok(n) => n,
-                Err(msg) => {
-                    eprintln!("{msg}");
+        Command::Scenarios { md, check, file } => {
+            if md {
+                print!("{}", catalog::render_markdown(registry()));
+            } else if check {
+                let committed = match std::fs::read_to_string(&file) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("cannot read {}: {e}", file.display());
+                        std::process::exit(2);
+                    }
+                };
+                if let Err(drift) = catalog::check(registry(), &committed) {
+                    eprintln!("{drift}");
+                    std::process::exit(1);
+                }
+                println!("{} matches the registry", file.display());
+            } else {
+                for def in registry().defs() {
+                    println!(
+                        "{:<28} {:<28} [{}]",
+                        def.name,
+                        def.workload.label(),
+                        def.consumers.join(" ")
+                    );
+                }
+                println!(
+                    "{} scenarios; `repro record <name> --out TRACE` captures one \
+                     (catalog: SCENARIOS.md)",
+                    registry().defs().len()
+                );
+            }
+        }
+        Command::Record {
+            scenario,
+            out,
+            iters,
+            knobs,
+            threads,
+        } => {
+            if let Err(msg) = set_pool_width(threads) {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+            let def = registry().get(&scenario).expect("validated by the CLI");
+            let trace = replay::record_trace(def, &knobs, iters);
+            match std::fs::write(&out, trace.to_bytes()) {
+                Ok(()) => println!(
+                    "wrote {} ({} records, {} GPUs, {} keys of {})",
+                    out.display(),
+                    trace.records.len(),
+                    trace.num_gpus,
+                    trace.total_keys(),
+                    trace.num_keys
+                ),
+                Err(e) => {
+                    eprintln!("failed to write trace {}: {e}", out.display());
+                    std::process::exit(2);
+                }
+            }
+        }
+        Command::Replay {
+            trace,
+            policy,
+            platform,
+            out,
+            threads,
+        } => {
+            if let Err(msg) = set_pool_width(threads) {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+            let bytes = match std::fs::read(&trace) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", trace.display());
                     std::process::exit(2);
                 }
             };
-            emb_util::pool::set_threads(threads);
+            let decoded = match emb_workload::Trace::from_bytes(&bytes) {
+                Ok(t) => t,
+                Err(e) => {
+                    // Exit 3: the trace itself is unusable (bad magic,
+                    // version mismatch, truncation, ...), distinct from
+                    // exit 2 usage/IO errors — see EXPERIMENTS.md.
+                    eprintln!("{}: {e}", trace.display());
+                    std::process::exit(3);
+                }
+            };
+            let report = match replay::replay_trace(&decoded, policy, platform) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("replay failed: {e}");
+                    std::process::exit(2);
+                }
+            };
+            println!(
+                "replayed {}: {}, {} records on {} under {}",
+                trace.display(),
+                report.scenario,
+                report.records,
+                report.platform,
+                report.policy
+            );
+            println!(
+                "  totals: local {} | remote {} | host {}",
+                report.totals.local, report.totals.remote, report.totals.host
+            );
+            if let Some(path) = out.as_deref() {
+                let mut text = json::to_string_pretty(&report).expect("replay report serializes");
+                text.push('\n');
+                match std::fs::write(path, text) {
+                    Ok(()) => println!("wrote {}", path.display()),
+                    Err(e) => {
+                        eprintln!("failed to write replay report {}: {e}", path.display());
+                        std::process::exit(2);
+                    }
+                }
+            }
+        }
+        Command::Run(spec) => {
+            if let Err(msg) = set_pool_width(spec.threads) {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
             run(&spec);
         }
     }
+}
+
+/// Resolves the worker-pool width from the `--threads` flag and the
+/// `REPRO_THREADS` env var, then configures the pool.
+fn set_pool_width(flag: Option<usize>) -> Result<(), String> {
+    let env = std::env::var("REPRO_THREADS").ok();
+    let threads = cli::resolve_threads(flag, env.as_deref())?;
+    emb_util::pool::set_threads(threads);
+    Ok(())
 }
 
 fn run(spec: &RunSpec) {

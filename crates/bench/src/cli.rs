@@ -4,7 +4,7 @@
 //! alias resolution, order-independent dedup, flag validation — are
 //! unit-testable without spawning processes.
 
-use crate::scenario::Scenario;
+use crate::scenario::{registry, PlatformId, PolicyId, Scenario};
 use std::path::PathBuf;
 
 /// Every target the `repro` CLI accepts, in canonical execution order.
@@ -77,6 +77,45 @@ pub enum Command {
         /// Where to write the bench report, if requested.
         out: Option<PathBuf>,
     },
+    /// List registered scenarios, render the catalog, or gate it
+    /// (`repro scenarios [--md | --check [--file PATH]]`).
+    Scenarios {
+        /// Print the generated `SCENARIOS.md` content instead of the
+        /// one-line-per-scenario listing.
+        md: bool,
+        /// Compare the committed catalog against the registry (exit 1
+        /// on drift).
+        check: bool,
+        /// Catalog file `--check` reads (default `SCENARIOS.md`).
+        file: PathBuf,
+    },
+    /// Record a scenario's access stream to a UGTR trace file.
+    Record {
+        /// Registered scenario name (validated at parse time).
+        scenario: String,
+        /// Trace output path.
+        out: PathBuf,
+        /// Iteration (for `serve`: request) count override.
+        iters: Option<usize>,
+        /// Scenario scale knobs after `--full` / explicit overrides.
+        knobs: Scenario,
+        /// Worker-pool width (`--threads N`; see [`resolve_threads`]).
+        threads: Option<usize>,
+    },
+    /// Replay a trace under a policy on a platform.
+    Replay {
+        /// Trace input path.
+        trace: PathBuf,
+        /// Policy to replay under (default `ugache`).
+        policy: PolicyId,
+        /// Platform override (default: matched to the trace's GPU
+        /// count).
+        platform: Option<PlatformId>,
+        /// Replay-report output path, if requested.
+        out: Option<PathBuf>,
+        /// Worker-pool width (`--threads N`; see [`resolve_threads`]).
+        threads: Option<usize>,
+    },
     /// Compute (and render or serialize) targets.
     Run(RunSpec),
 }
@@ -99,6 +138,12 @@ fn parse_scale(name: &str, value: &str) -> Result<usize, String> {
 /// `check-trace`, and `bench` subcommands map to [`Command::Run`] with
 /// `profile` set, [`Command::Compare`], [`Command::CheckTrace`], and
 /// [`Command::Bench`] (`--trials N --warmup N --out FILE [NAME...]`).
+/// The scenario-registry subcommands map to [`Command::Scenarios`]
+/// (`scenarios [--md | --check [--file PATH]]`), [`Command::Record`]
+/// (`record <scenario> --out TRACE [--iters N]` plus the scale flags;
+/// unknown scenario names are parse errors), and [`Command::Replay`]
+/// (`replay TRACE [--policy P] [--platform PL] [--out FILE]`; unknown
+/// policy/platform names are parse errors).
 ///
 /// # Errors
 ///
@@ -197,6 +242,179 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }
         return Ok(Command::CheckTrace {
             path: PathBuf::from(&rest[0]),
+        });
+    }
+    if args.first().map(String::as_str) == Some("scenarios") {
+        let rest = &args[1..];
+        let mut md = false;
+        let mut check = false;
+        let mut file = PathBuf::from("SCENARIOS.md");
+        let mut i = 0;
+        while i < rest.len() {
+            let arg = &rest[i];
+            match arg.as_str() {
+                "--md" => md = true,
+                "--check" => check = true,
+                a if a == "--file" || a.starts_with("--file=") => {
+                    let v = if let Some(v) = arg.strip_prefix("--file=") {
+                        v.to_string()
+                    } else {
+                        i += 1;
+                        rest.get(i)
+                            .cloned()
+                            .ok_or_else(|| "--file expects a value".to_string())?
+                    };
+                    file = PathBuf::from(v);
+                }
+                a => {
+                    return Err(format!("unknown argument `{a}` for `repro scenarios`"));
+                }
+            }
+            i += 1;
+        }
+        if md && check {
+            return Err("`repro scenarios` takes --md or --check, not both".to_string());
+        }
+        return Ok(Command::Scenarios { md, check, file });
+    }
+    if args.first().map(String::as_str) == Some("record") {
+        let rest = &args[1..];
+        let mut full = false;
+        let mut gnn_scale: Option<usize> = None;
+        let mut dlr_scale: Option<usize> = None;
+        let mut iters: Option<usize> = None;
+        let mut out: Option<PathBuf> = None;
+        let mut threads: Option<usize> = None;
+        let mut names: Vec<String> = Vec::new();
+        let mut i = 0;
+        while i < rest.len() {
+            let arg = &rest[i];
+            let mut value_of = |name: &str| -> Result<String, String> {
+                if let Some(v) = arg.strip_prefix(&format!("--{name}=")) {
+                    return Ok(v.to_string());
+                }
+                i += 1;
+                rest.get(i)
+                    .cloned()
+                    .ok_or_else(|| format!("--{name} expects a value"))
+            };
+            match arg.as_str() {
+                "--full" => full = true,
+                a if a == "--out" || a.starts_with("--out=") => {
+                    out = Some(PathBuf::from(value_of("out")?));
+                }
+                a if a == "--iters" || a.starts_with("--iters=") => {
+                    iters = Some(parse_scale("iters", &value_of("iters")?)?);
+                }
+                a if a == "--threads" || a.starts_with("--threads=") => {
+                    threads = Some(parse_scale("threads", &value_of("threads")?)?);
+                }
+                a if a == "--gnn-scale" || a.starts_with("--gnn-scale=") => {
+                    gnn_scale = Some(parse_scale("gnn-scale", &value_of("gnn-scale")?)?);
+                }
+                a if a == "--dlr-scale" || a.starts_with("--dlr-scale=") => {
+                    dlr_scale = Some(parse_scale("dlr-scale", &value_of("dlr-scale")?)?);
+                }
+                a if a.starts_with("--") => {
+                    return Err(format!("unknown flag `{a}` for `repro record`"));
+                }
+                _ => names.push(arg.clone()),
+            }
+            i += 1;
+        }
+        let [scenario] = names.as_slice() else {
+            return Err(
+                "`repro record` expects exactly one scenario name; see `repro scenarios`"
+                    .to_string(),
+            );
+        };
+        if registry().get(scenario).is_none() {
+            return Err(format!(
+                "unknown scenario `{scenario}`; see `repro scenarios`"
+            ));
+        }
+        let Some(out) = out else {
+            return Err("`repro record` requires --out <trace-file>".to_string());
+        };
+        let mut knobs = if full {
+            Scenario::full()
+        } else {
+            Scenario::quick()
+        };
+        if let Some(g) = gnn_scale {
+            knobs.gnn_scale = g;
+        }
+        if let Some(d) = dlr_scale {
+            knobs.dlr_scale = d;
+        }
+        return Ok(Command::Record {
+            scenario: scenario.clone(),
+            out,
+            iters,
+            knobs,
+            threads,
+        });
+    }
+    if args.first().map(String::as_str) == Some("replay") {
+        let rest = &args[1..];
+        let mut policy = PolicyId::UGache;
+        let mut platform: Option<PlatformId> = None;
+        let mut out: Option<PathBuf> = None;
+        let mut threads: Option<usize> = None;
+        let mut paths: Vec<String> = Vec::new();
+        let mut i = 0;
+        while i < rest.len() {
+            let arg = &rest[i];
+            let mut value_of = |name: &str| -> Result<String, String> {
+                if let Some(v) = arg.strip_prefix(&format!("--{name}=")) {
+                    return Ok(v.to_string());
+                }
+                i += 1;
+                rest.get(i)
+                    .cloned()
+                    .ok_or_else(|| format!("--{name} expects a value"))
+            };
+            match arg.as_str() {
+                a if a == "--policy" || a.starts_with("--policy=") => {
+                    let v = value_of("policy")?;
+                    policy = PolicyId::parse(&v).ok_or_else(|| {
+                        format!(
+                            "unknown policy `{v}`; available: {}",
+                            PolicyId::ALL.map(|p| p.name()).join(" ")
+                        )
+                    })?;
+                }
+                a if a == "--platform" || a.starts_with("--platform=") => {
+                    let v = value_of("platform")?;
+                    platform = Some(PlatformId::parse(&v).ok_or_else(|| {
+                        format!(
+                            "unknown platform `{v}`; available: {}",
+                            PlatformId::ALL.map(|p| p.name()).join(" ")
+                        )
+                    })?);
+                }
+                a if a == "--out" || a.starts_with("--out=") => {
+                    out = Some(PathBuf::from(value_of("out")?));
+                }
+                a if a == "--threads" || a.starts_with("--threads=") => {
+                    threads = Some(parse_scale("threads", &value_of("threads")?)?);
+                }
+                a if a.starts_with("--") => {
+                    return Err(format!("unknown flag `{a}` for `repro replay`"));
+                }
+                _ => paths.push(arg.clone()),
+            }
+            i += 1;
+        }
+        let [trace] = paths.as_slice() else {
+            return Err("`repro replay` expects exactly one trace file".to_string());
+        };
+        return Ok(Command::Replay {
+            trace: PathBuf::from(trace),
+            policy,
+            platform,
+            out,
+            threads,
         });
     }
     let profile = args.first().map(String::as_str) == Some("profile");

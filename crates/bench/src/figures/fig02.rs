@@ -1,10 +1,9 @@
 //! Figure 2: hit rate and extraction time vs cache ratio, replication vs
 //! partition (vs UGache), supervised GraphSAGE on PA, Server C.
 
-use crate::scenario::{header, ms, Scenario};
+use crate::scenario::{header, ms, registry, PlatformId, Scenario};
 use cache_policy::baselines;
 use emb_workload::{GnnDatasetId, GnnModel};
-use gpu_platform::Platform;
 use serde::Serialize;
 use ugache::baselines::{build_system, SystemKind};
 
@@ -53,8 +52,15 @@ fn hit_rates(placement: &cache_policy::Placement, keys_per_gpu: &[Vec<u32>]) -> 
 
 /// Computes the Figure 2 series (no printing).
 pub fn compute(s: &Scenario) -> Vec<Point> {
-    let plat = Platform::server_c();
-    let (mut w, hotness) = s.gnn(GnnDatasetId::Pa, GnnModel::GraphSageSupervised, &plat);
+    let def = registry()
+        .gnn_def(
+            GnnDatasetId::Pa,
+            GnnModel::GraphSageSupervised,
+            PlatformId::ServerC,
+        )
+        .expect("fig2's scenario is registered");
+    let plat = def.resolve_platform();
+    let (mut w, hotness) = def.gnn(s);
     let e = hotness.len();
     let mut probe = w.clone();
     let accesses = probe.measure_accesses_per_iter(2);

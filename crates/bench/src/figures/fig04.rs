@@ -2,9 +2,8 @@
 //! UGache's factored mechanisms — DLR inference, Servers A and C,
 //! Criteo-TB and the α=1.2 synthetic dataset.
 
-use crate::scenario::{header, ms, Scenario};
+use crate::scenario::{header, ms, registry, PlatformId, Scenario};
 use emb_workload::DlrDatasetId;
-use gpu_platform::Platform;
 use serde::Serialize;
 use ugache::apps::dlr::dlr_cache_capacity;
 use ugache::baselines::{build_system, SystemKind};
@@ -27,9 +26,13 @@ pub struct Bars {
 /// Computes the Figure 4 bar groups (no printing).
 pub fn compute(s: &Scenario) -> Vec<Bars> {
     let mut out = Vec::new();
-    for plat in [Platform::server_a(), Platform::server_c()] {
+    for p in [PlatformId::ServerA, PlatformId::ServerC] {
         for id in [DlrDatasetId::Cr, DlrDatasetId::SynA] {
-            let (mut w, hotness) = s.dlr(id, &plat);
+            let def = registry()
+                .dlr_def(id, p)
+                .expect("fig4's scenarios are registered");
+            let plat = def.resolve_platform();
+            let (mut w, hotness) = def.dlr(s);
             let dataset = w.dataset().clone();
             let cap = dlr_cache_capacity(&plat, &dataset);
             let mut probe = w.clone();

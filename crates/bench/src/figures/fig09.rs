@@ -1,9 +1,8 @@
 //! Figure 9: log-scale hotness blocking with coarse/fine size caps.
 
-use crate::scenario::{header, Scenario};
+use crate::scenario::{header, registry, PlatformId, Scenario};
 use cache_policy::{build_blocks, BlockConfig};
 use emb_workload::GnnDatasetId;
-use gpu_platform::Platform;
 use serde::Serialize;
 
 /// Per-hotness-level blocking statistics.
@@ -35,12 +34,15 @@ pub struct Fig09Data {
 
 /// Computes the Figure 9 blocking statistics (no printing).
 pub fn compute(s: &Scenario) -> Fig09Data {
-    let plat = Platform::server_c();
-    let (_, hotness) = s.gnn(
-        GnnDatasetId::Pa,
-        emb_workload::GnnModel::GraphSageSupervised,
-        &plat,
-    );
+    let def = registry()
+        .gnn_def(
+            GnnDatasetId::Pa,
+            emb_workload::GnnModel::GraphSageSupervised,
+            PlatformId::ServerC,
+        )
+        .expect("fig9's scenario is registered");
+    let plat = def.resolve_platform();
+    let (_, hotness) = def.gnn(s);
     let cfg = BlockConfig {
         min_splits: plat.num_gpus(),
         max_blocks: 4096,

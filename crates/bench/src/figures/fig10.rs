@@ -6,7 +6,7 @@
 //! DLR comparison, as the paper does). Both figures render from the same
 //! [`Data`], so one `compute` pass serves both targets.
 
-use crate::scenario::{header, Scenario};
+use crate::scenario::{header, registry, PlatformId, Scenario};
 use emb_workload::{DlrDatasetId, GnnDatasetId, GnnModel};
 use serde::Serialize;
 use ugache::apps::dlr::run_dlr_iterations;
@@ -74,10 +74,14 @@ pub fn compute_gnn(s: &Scenario) -> Vec<GnnCell> {
         measure_iters: s.iters,
         ..Default::default()
     };
-    for plat in Scenario::servers() {
+    for p in PlatformId::SERVERS {
         for model in GnnModel::ALL {
             for ds in GnnDatasetId::ALL {
-                let (w, hotness) = s.gnn(ds, model, &plat);
+                let def = registry()
+                    .gnn_def(ds, model, p)
+                    .expect("fig10's GNN scenarios are registered");
+                let plat = def.resolve_platform();
+                let (w, hotness) = def.gnn(s);
                 for kind in GNN_SYSTEMS {
                     let mut wk = w.clone();
                     let timings = run_gnn_epoch(kind, &plat, &mut wk, &hotness, &cfg)
@@ -101,9 +105,13 @@ pub fn compute_gnn(s: &Scenario) -> Vec<GnnCell> {
 /// Computes the DLR half of Figure 10 (no printing).
 pub fn compute_dlr(s: &Scenario) -> Vec<DlrCell> {
     let mut cells = Vec::new();
-    for plat in Scenario::servers() {
+    for p in PlatformId::SERVERS {
         for ds in DlrDatasetId::ALL {
-            let (w, hotness) = s.dlr(ds, &plat);
+            let def = registry()
+                .dlr_def(ds, p)
+                .expect("fig10's DLR scenarios are registered");
+            let plat = def.resolve_platform();
+            let (w, hotness) = def.dlr(s);
             for model in DlrModel::ALL {
                 for kind in DLR_SYSTEMS {
                     let mut wk = w.clone();

@@ -2,12 +2,12 @@
 //! incrementally (RepU → PartU → +Policy → UGache), vs cache ratio,
 //! supervised GraphSAGE on PA and CF, Server C.
 
-use crate::scenario::{header, Scenario};
+use crate::scenario::{header, registry, PlatformId, Scenario};
 use cache_policy::{SolverConfig, UGacheSolver};
 use emb_workload::{GnnDatasetId, GnnModel};
 use extractor::{Extractor, Mechanism};
 use gpu_memsim::SimConfig;
-use gpu_platform::{DedicationConfig, Platform};
+use gpu_platform::DedicationConfig;
 use serde::Serialize;
 use ugache::baselines::{build_system, SystemKind};
 
@@ -30,10 +30,13 @@ pub struct Point {
 
 /// Computes the Figure 12 series (no printing).
 pub fn compute(s: &Scenario) -> Vec<Point> {
-    let plat = Platform::server_c();
     let mut out = Vec::new();
     for ds in [GnnDatasetId::Pa, GnnDatasetId::Cf] {
-        let (mut w, hotness) = s.gnn(ds, GnnModel::GraphSageSupervised, &plat);
+        let def = registry()
+            .gnn_def(ds, GnnModel::GraphSageSupervised, PlatformId::ServerC)
+            .expect("fig12's scenarios are registered");
+        let plat = def.resolve_platform();
+        let (mut w, hotness) = def.gnn(s);
         let e = hotness.len();
         let entry_bytes = w.dataset().entry_bytes;
         let mut probe = w.clone();

@@ -4,7 +4,7 @@
 //! As in the paper, locally hit keys are removed in advance so only
 //! remote-GPU and host traffic remains.
 
-use crate::scenario::{header, Scenario};
+use crate::scenario::{header, registry, PlatformId, Scenario};
 use cache_policy::Placement;
 use emb_workload::{DlrDatasetId, GnnDatasetId, GnnModel};
 use extractor::{Extractor, Mechanism};
@@ -79,12 +79,15 @@ fn measure(
 
 /// Computes the Figure 13 utilizations (no printing).
 pub fn compute(s: &Scenario) -> Vec<Util> {
-    let plat = Platform::server_c();
+    let plat = PlatformId::ServerC.resolve();
     let mut out = Vec::new();
 
     let mut cases: Vec<(String, Placement, Vec<Vec<u32>>, usize)> = Vec::new();
     for ds in [GnnDatasetId::Cf, GnnDatasetId::Mag] {
-        let (mut w, hotness) = s.gnn(ds, GnnModel::Gcn, &plat);
+        let def = registry()
+            .gnn_def(ds, GnnModel::Gcn, PlatformId::ServerC)
+            .expect("fig13's GNN scenarios are registered");
+        let (mut w, hotness) = def.gnn(s);
         let entry_bytes = w.dataset().entry_bytes;
         let cap = ugache::apps::gnn_cache_capacity(&plat, w.dataset(), SystemKind::UGache);
         let mut probe = w.clone();
@@ -108,7 +111,10 @@ pub fn compute(s: &Scenario) -> Vec<Util> {
         ));
     }
     for ds in [DlrDatasetId::Cr, DlrDatasetId::SynA] {
-        let (mut w, hotness) = s.dlr(ds, &plat);
+        let def = registry()
+            .dlr_def(ds, PlatformId::ServerC)
+            .expect("fig13's DLR scenarios are registered");
+        let (mut w, hotness) = def.dlr(s);
         let entry_bytes = w.dataset().entry_bytes;
         let cap = ugache::apps::dlr::dlr_cache_capacity(&plat, w.dataset());
         let mut probe = w.clone();

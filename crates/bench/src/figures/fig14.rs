@@ -5,12 +5,12 @@
 //! As in the paper's Figure 15, all three policies use UGache's factored
 //! extraction so the comparison isolates the *policy*.
 
-use crate::scenario::{header, Scenario};
+use crate::scenario::{header, registry, PlatformId, Scenario};
 use cache_policy::Placement;
 use emb_workload::{GnnDatasetId, GnnModel};
 use extractor::{Extractor, Mechanism};
 use gpu_memsim::SimConfig;
-use gpu_platform::{DedicationConfig, Location, Platform};
+use gpu_platform::{DedicationConfig, Location};
 use serde::Serialize;
 use ugache::baselines::{build_system, SystemKind};
 
@@ -51,7 +51,7 @@ fn batch_split(placement: &Placement, keys_per_gpu: &[Vec<u32>]) -> (f64, f64, f
 
 /// Computes the Figures 14/15 measurements (no printing).
 pub fn compute(s: &Scenario) -> Vec<Split> {
-    let plat = Platform::server_c();
+    let plat = PlatformId::ServerC.resolve();
     let fem = Extractor::new(
         plat.clone(),
         SimConfig::default(),
@@ -61,7 +61,10 @@ pub fn compute(s: &Scenario) -> Vec<Split> {
     );
     let mut out = Vec::new();
     for ds in [GnnDatasetId::Pa, GnnDatasetId::Cf] {
-        let (mut w, hotness) = s.gnn(ds, GnnModel::GraphSageSupervised, &plat);
+        let def = registry()
+            .gnn_def(ds, GnnModel::GraphSageSupervised, PlatformId::ServerC)
+            .expect("fig14's scenarios are registered");
+        let (mut w, hotness) = def.gnn(s);
         let e = hotness.len();
         let entry_bytes = w.dataset().entry_bytes;
         let mut probe = w.clone();

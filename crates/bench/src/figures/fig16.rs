@@ -6,7 +6,7 @@
 //! the paper shrinks instances until an exact solve is feasible. Both
 //! placements are evaluated with UGache's extraction (as in the paper).
 
-use crate::scenario::{header, Scenario};
+use crate::scenario::{header, registry, PlatformId, Scenario};
 use cache_policy::{BlockConfig, SolverConfig, UGacheSolver};
 use emb_workload::{DlrDatasetId, GnnDatasetId, GnnModel};
 use extractor::{Extractor, Mechanism};
@@ -80,9 +80,12 @@ pub fn compute(s: &Scenario) -> Vec<Gap> {
     let mut out = Vec::new();
 
     // Server A: DLRM with CR / SYN-A / SYN-B.
-    let plat_a = Platform::server_a();
+    let plat_a = PlatformId::ServerA.resolve();
     for ds in DlrDatasetId::ALL {
-        let (mut w, hotness) = s.dlr(ds, &plat_a);
+        let def = registry()
+            .dlr_def(ds, PlatformId::ServerA)
+            .expect("fig16's Server A scenarios are registered");
+        let (mut w, hotness) = def.dlr(s);
         let entry_bytes = w.dataset().entry_bytes;
         let cap = ugache::apps::dlr::dlr_cache_capacity(&plat_a, w.dataset());
         let mut probe = w.clone();
@@ -97,11 +100,14 @@ pub fn compute(s: &Scenario) -> Vec<Gap> {
     }
 
     // Server B: reduced synthetic datasets (SYN-As / SYN-Bs).
-    let plat_b = Platform::server_b();
+    let plat_b = PlatformId::ServerB.resolve();
     for ds in [DlrDatasetId::SynA, DlrDatasetId::SynB] {
         let mut small = *s;
         small.dlr_scale = s.dlr_scale * 4; // the paper's reduced tables
-        let (mut w, hotness) = small.dlr(ds, &plat_b);
+        let def = registry()
+            .dlr_def(ds, PlatformId::ServerB)
+            .expect("fig16's Server B scenarios are registered");
+        let (mut w, hotness) = def.dlr(&small);
         let entry_bytes = w.dataset().entry_bytes;
         let cap = ugache::apps::dlr::dlr_cache_capacity(&plat_b, w.dataset());
         let mut probe = w.clone();
@@ -117,7 +123,7 @@ pub fn compute(s: &Scenario) -> Vec<Gap> {
 
     // Server C: all three GNN models on PA (representative; add CF/MAG in
     // full mode).
-    let plat_c = Platform::server_c();
+    let plat_c = PlatformId::ServerC.resolve();
     let gnn_sets: &[GnnDatasetId] = if s.gnn_scale <= 1024 {
         &[GnnDatasetId::Pa, GnnDatasetId::Cf, GnnDatasetId::Mag]
     } else {
@@ -125,7 +131,10 @@ pub fn compute(s: &Scenario) -> Vec<Gap> {
     };
     for model in GnnModel::ALL {
         for &ds in gnn_sets {
-            let (mut w, hotness) = s.gnn(ds, model, &plat_c);
+            let def = registry()
+                .gnn_def(ds, model, PlatformId::ServerC)
+                .expect("fig16's Server C scenarios are registered");
+            let (mut w, hotness) = def.gnn(s);
             let entry_bytes = w.dataset().entry_bytes;
             let cap =
                 ugache::apps::gnn_cache_capacity(&plat_c, w.dataset(), ugache::SystemKind::UGache);

@@ -6,11 +6,9 @@
 //! foreground impact while the refresher solves and migrates, then drop
 //! back — ideally below the pre-refresh level after the drift.
 
-use crate::scenario::{header, Scenario, SEED};
+use crate::scenario::{header, registry, PlatformId, Scenario};
 use emb_cache::HostTable;
-use emb_workload::dlr::DlrHotness;
-use emb_workload::{dlr_preset, DlrDatasetId, DlrWorkload};
-use gpu_platform::Platform;
+use emb_workload::DlrDatasetId;
 use serde::Serialize;
 use ugache::apps::dlr::dlr_cache_capacity;
 use ugache::{UGache, UGacheConfig};
@@ -56,12 +54,14 @@ fn drift_keys(dataset: &emb_workload::DlrDataset, keys_per_gpu: &mut [Vec<u32>])
 
 /// Computes the Figure 17 timeline (no printing).
 pub fn compute(s: &Scenario) -> Fig17Data {
-    let plat = Platform::server_c();
-    let dataset = dlr_preset(DlrDatasetId::Cr, s.dlr_scale);
+    let def = registry()
+        .dlr_def(DlrDatasetId::Cr, PlatformId::ServerC)
+        .expect("fig17's scenario is registered");
+    let plat = def.resolve_platform();
+    let (mut w, hotness) = def.dlr(s);
+    let dataset = w.dataset().clone();
     let entry_bytes = dataset.entry_bytes;
     let cap = dlr_cache_capacity(&plat, &dataset);
-    let mut w = DlrWorkload::new(dataset.clone(), s.dlr_batch, plat.num_gpus(), SEED);
-    let hotness = w.hotness(DlrHotness::Analytic);
 
     let mut probe = w.clone();
     let accesses = probe.measure_accesses_per_iter(1);

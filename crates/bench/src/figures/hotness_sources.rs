@@ -3,10 +3,9 @@
 //! (GNNLab-style), graph degree (PaGraph-style), or online counting.
 //! This target quantifies what each source costs relative to an oracle.
 
-use crate::scenario::{header, Scenario};
+use crate::scenario::{header, registry, PlatformId, Scenario};
 use cache_policy::Hotness;
 use emb_workload::{GnnDatasetId, GnnModel};
-use gpu_platform::Platform;
 use serde::Serialize;
 use ugache::baselines::{build_system, SystemKind};
 
@@ -23,8 +22,15 @@ pub struct SourceRow {
 
 /// Computes the study rows (no printing).
 pub fn compute(s: &Scenario) -> Vec<SourceRow> {
-    let plat = Platform::server_c();
-    let (w, _) = s.gnn(GnnDatasetId::Pa, GnnModel::GraphSageSupervised, &plat);
+    let def = registry()
+        .gnn_def(
+            GnnDatasetId::Pa,
+            GnnModel::GraphSageSupervised,
+            PlatformId::ServerC,
+        )
+        .expect("the hotness study's scenario is registered");
+    let plat = def.resolve_platform();
+    let (w, _) = def.gnn(s);
     let entry_bytes = w.dataset().entry_bytes;
     let cap = ugache::apps::gnn_cache_capacity(&plat, w.dataset(), SystemKind::UGache);
 

@@ -11,13 +11,12 @@
 //! through the simulated clock, so the curves are exact functions of
 //! the scenario and the global seed.
 
-use crate::scenario::{header, Scenario, SEED};
+use crate::scenario::{header, registry, Scenario, SEED};
 use cache_policy::Hotness;
 use emb_cache::HostTable;
 use emb_serve::{estimate_capacity_rps, run_load_point, ClientPopulation, LoadSample, ServeConfig};
 use emb_util::zipf::powerlaw_hotness;
 use emb_util::{split_seed, SimTime};
-use gpu_platform::Platform;
 use serde::Serialize;
 use ugache::{UGache, UGacheConfig};
 
@@ -62,9 +61,29 @@ fn key_domain(dlr_scale: usize) -> usize {
     (40_000_000 / dlr_scale.max(1)).max(2_048)
 }
 
+/// The serving engine's configuration at the given knobs — shared by
+/// the figure sweep and `repro record` for `serve/zipf@server_a`
+/// traces, so recorded request streams match the live sweep's draws.
+pub fn serve_config(s: &Scenario) -> ServeConfig {
+    ServeConfig {
+        seed: split_seed(SEED, 0x5E12E),
+        num_users: s.serve_users as u64,
+        num_keys: key_domain(s.dlr_scale) as u64,
+        user_alpha: ALPHA,
+        keys_per_request: KEYS_PER_REQUEST,
+        entry_bytes: DIM * 4,
+        max_batch: MAX_BATCH,
+        batch_window: BATCH_WINDOW,
+        requests: s.serve_requests,
+    }
+}
+
 /// Computes the serving sweep (no printing).
 pub fn compute(s: &Scenario) -> ServeData {
-    let plat = Platform::server_a();
+    let plat = registry()
+        .serve_def()
+        .expect("serving scenario is registered")
+        .resolve_platform();
     let n = key_domain(s.dlr_scale);
     let entry_bytes = DIM * 4;
     let hotness = Hotness::new(powerlaw_hotness(n, ALPHA));
@@ -86,17 +105,7 @@ pub fn compute(s: &Scenario) -> ServeData {
     )
     .expect("ugache builds");
 
-    let serve_cfg = ServeConfig {
-        seed: split_seed(SEED, 0x5E12E),
-        num_users: s.serve_users as u64,
-        num_keys: n as u64,
-        user_alpha: ALPHA,
-        keys_per_request: KEYS_PER_REQUEST,
-        entry_bytes,
-        max_batch: MAX_BATCH,
-        batch_window: BATCH_WINDOW,
-        requests: s.serve_requests,
-    };
+    let serve_cfg = serve_config(s);
     let mut clients = ClientPopulation::new(
         serve_cfg.seed,
         serve_cfg.num_users,

@@ -3,13 +3,13 @@
 //! Unsupervised GraphSAGE training on MAG, one A100-80GB: how much of the
 //! end-to-end time the embedding layer takes with and without a cache.
 
-use crate::scenario::{header, ms, Scenario, SEED};
+use crate::scenario::{header, ms, registry, PlatformId, Scenario};
 use cache_policy::baselines;
 use emb_util::fmt;
-use emb_workload::{gnn_preset, GnnDatasetId, GnnModel, GnnWorkload};
+use emb_workload::{GnnDatasetId, GnnModel};
 use extractor::{Extractor, Mechanism};
 use gpu_memsim::SimConfig;
-use gpu_platform::{DedicationConfig, GpuSpec, Platform};
+use gpu_platform::DedicationConfig;
 use serde::Serialize;
 use ugache::apps::MlpCostModel;
 
@@ -32,18 +32,18 @@ pub struct Breakdown {
 
 /// Computes the Table 1 breakdown (no printing).
 pub fn compute(s: &Scenario) -> Breakdown {
-    let platform = Platform::single(GpuSpec::a100(80), 1 << 40);
-    let dataset = gnn_preset(GnnDatasetId::Mag, s.gnn_scale, SEED);
+    let def = registry()
+        .gnn_def(
+            GnnDatasetId::Mag,
+            GnnModel::GraphSageUnsupervised,
+            PlatformId::SingleA100,
+        )
+        .expect("table1's scenario is registered");
+    let platform = def.resolve_platform();
+    let (mut w, hotness) = def.gnn(s);
+    let dataset = w.dataset().clone();
     let entry_bytes = dataset.entry_bytes;
     let volume_e = dataset.volume_bytes();
-    let mut w = GnnWorkload::new(
-        dataset.clone(),
-        GnnModel::GraphSageUnsupervised,
-        s.gnn_batch,
-        1,
-        SEED,
-    );
-    let hotness = w.profile_hotness(2);
 
     // Cache capacity: the paper's single-GPU cache (GNNLab-style
     // replication) under the scaled memory budget.

@@ -15,6 +15,7 @@
 #![deny(missing_docs)]
 
 pub mod artifact;
+pub mod catalog;
 pub mod chrome;
 pub mod cli;
 pub mod compare;
@@ -22,6 +23,7 @@ pub mod figures;
 pub mod json;
 pub mod microbench;
 pub mod profile;
+pub mod replay;
 pub mod runner;
 pub mod scenario;
 pub mod timeline;

@@ -1,95 +1,16 @@
 //! Shared scenario plumbing for the figure harness.
+//!
+//! The `Scenario` knobs and the scenario registry moved to the
+//! `emb-scenario` crate (so the trace tooling and future consumers can
+//! reach them without depending on the bench stack); this module
+//! re-exports them under the old paths and keeps the bench-local
+//! rendering helpers. Figure modules resolve their platforms and
+//! workloads through [`registry`] — see EXPERIMENTS.md ("Scenario
+//! registry and access traces") for the naming scheme.
 
-use cache_policy::Hotness;
-use emb_workload::dlr::DlrHotness;
-use emb_workload::{
-    dlr_preset, gnn_preset, DlrDatasetId, DlrWorkload, GnnDatasetId, GnnModel, GnnWorkload,
+pub use emb_scenario::{
+    registry, PlatformId, PolicyId, Registry, Scenario, ScenarioDef, WorkloadSpec, SEED,
 };
-use gpu_platform::Platform;
-use serde::Serialize;
-
-/// Workspace-wide RNG seed for the harness.
-pub const SEED: u64 = 0x5EED;
-
-/// Scale and batch knobs for a harness run.
-///
-/// `quick()` keeps every figure under a few seconds of wall time on a
-/// laptop core; `full()` uses larger domains for smoother curves.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
-pub struct Scenario {
-    /// Divisor applied to paper-scale GNN vertex counts.
-    pub gnn_scale: usize,
-    /// Divisor applied to paper-scale DLR table sizes.
-    pub dlr_scale: usize,
-    /// GNN seeds per GPU per iteration.
-    pub gnn_batch: usize,
-    /// DLR requests per GPU per iteration.
-    pub dlr_batch: usize,
-    /// Iterations measured per data point.
-    pub iters: usize,
-    /// Simulated client population of the serving sweep.
-    pub serve_users: usize,
-    /// Requests served per offered-load level of the serving sweep.
-    pub serve_requests: usize,
-}
-
-impl Scenario {
-    /// Fast settings for CI and the default `repro` run.
-    pub fn quick() -> Self {
-        Scenario {
-            gnn_scale: 4096,
-            dlr_scale: 8192,
-            gnn_batch: 512,
-            dlr_batch: 512,
-            iters: 2,
-            serve_users: 200_000,
-            serve_requests: 160,
-        }
-    }
-
-    /// Larger settings for smoother series.
-    pub fn full() -> Self {
-        Scenario {
-            gnn_scale: 1024,
-            dlr_scale: 2048,
-            gnn_batch: 1024,
-            dlr_batch: 1024,
-            iters: 3,
-            serve_users: 2_000_000,
-            serve_requests: 512,
-        }
-    }
-
-    /// The three testbeds of §8.1.
-    pub fn servers() -> [Platform; 3] {
-        [
-            Platform::server_a(),
-            Platform::server_b(),
-            Platform::server_c(),
-        ]
-    }
-
-    /// Builds a GNN workload plus profiled hotness.
-    pub fn gnn(
-        &self,
-        id: GnnDatasetId,
-        model: GnnModel,
-        platform: &Platform,
-    ) -> (GnnWorkload, Hotness) {
-        let d = gnn_preset(id, self.gnn_scale, SEED);
-        let mut w = GnnWorkload::new(d, model, self.gnn_batch, platform.num_gpus(), SEED);
-        let h = w.profile_hotness(2);
-        (w, h)
-    }
-
-    /// Builds a DLR workload plus analytic hotness.
-    pub fn dlr(&self, id: DlrDatasetId, platform: &Platform) -> (DlrWorkload, Hotness) {
-        let d = dlr_preset(id, self.dlr_scale);
-        let mut w = DlrWorkload::new(d, self.dlr_batch, platform.num_gpus(), SEED);
-        let h = w.hotness(DlrHotness::Analytic);
-        (w, h)
-    }
-}
 
 /// Prints a section header.
 pub fn header(title: &str) {
@@ -106,19 +27,22 @@ mod tests {
     use super::*;
 
     #[test]
-    fn quick_scenario_builds_workloads() {
-        let s = Scenario::quick();
-        let plat = Platform::server_a();
-        let (mut w, h) = s.gnn(GnnDatasetId::Pa, GnnModel::GraphSageSupervised, &plat);
-        assert!(h.total() > 0.0);
-        assert_eq!(w.next_batch().len(), 4);
-        let (mut d, hd) = s.dlr(DlrDatasetId::SynA, &plat);
-        assert!(hd.total() > 0.0);
-        assert_eq!(d.next_batch().len(), 4);
+    fn ms_formats() {
+        assert_eq!(ms(0.001234), "1.234");
     }
 
     #[test]
-    fn ms_formats() {
-        assert_eq!(ms(0.001234), "1.234");
+    fn every_consumer_is_a_cli_target() {
+        // The registry lives below the CLI layer; pin its consumer
+        // metadata to the actual target list here.
+        for def in registry().defs() {
+            for c in &def.consumers {
+                assert!(
+                    crate::cli::TARGETS.contains(c),
+                    "scenario `{}` lists unknown target `{c}`",
+                    def.name
+                );
+            }
+        }
     }
 }

@@ -415,6 +415,183 @@ fn parse_trace_flag() {
 }
 
 #[test]
+fn parse_scenarios_record_and_replay_subcommands() {
+    use ugache_bench::scenario::{PlatformId, PolicyId};
+
+    match cli::parse(&args(&["scenarios"])).unwrap() {
+        Command::Scenarios { md, check, .. } => {
+            assert!(!md && !check);
+        }
+        other => panic!("expected Scenarios, got {other:?}"),
+    }
+    match cli::parse(&args(&["scenarios", "--check", "--file", "S.md"])).unwrap() {
+        Command::Scenarios { check, file, .. } => {
+            assert!(check);
+            assert_eq!(file, std::path::PathBuf::from("S.md"));
+        }
+        other => panic!("expected Scenarios, got {other:?}"),
+    }
+    let err = cli::parse(&args(&["scenarios", "--md", "--check"])).unwrap_err();
+    assert!(err.contains("--md"), "{err}");
+
+    // Unknown scenario names are rejected at parse time with a pointer
+    // to the catalog listing.
+    let err = cli::parse(&args(&["record", "gnn/nope@server_c", "--out", "t"])).unwrap_err();
+    assert!(err.contains("gnn/nope@server_c"), "{err}");
+    assert!(err.contains("repro scenarios"), "{err}");
+    let err = cli::parse(&args(&["record", "dlr/cr@server_a"])).unwrap_err();
+    assert!(err.contains("--out"), "{err}");
+    match cli::parse(&args(&[
+        "record",
+        "dlr/cr@server_a",
+        "--out",
+        "t",
+        "--iters=3",
+    ]))
+    .unwrap()
+    {
+        Command::Record {
+            scenario, iters, ..
+        } => {
+            assert_eq!(scenario, "dlr/cr@server_a");
+            assert_eq!(iters, Some(3));
+        }
+        other => panic!("expected Record, got {other:?}"),
+    }
+
+    match cli::parse(&args(&["replay", "t.trace"])).unwrap() {
+        Command::Replay {
+            policy, platform, ..
+        } => {
+            assert_eq!(policy, PolicyId::UGache, "policy defaults to ugache");
+            assert_eq!(platform, None);
+        }
+        other => panic!("expected Replay, got {other:?}"),
+    }
+    match cli::parse(&args(&[
+        "replay",
+        "t.trace",
+        "--policy=hps",
+        "--platform",
+        "server_b",
+    ]))
+    .unwrap()
+    {
+        Command::Replay {
+            policy, platform, ..
+        } => {
+            assert_eq!(policy, PolicyId::Hps);
+            assert_eq!(platform, Some(PlatformId::ServerB));
+        }
+        other => panic!("expected Replay, got {other:?}"),
+    }
+    let err = cli::parse(&args(&["replay", "t.trace", "--policy", "lru"])).unwrap_err();
+    assert!(err.contains("lru") && err.contains("ugache"), "{err}");
+    let err = cli::parse(&args(&["replay", "t.trace", "--platform=server_z"])).unwrap_err();
+    assert!(err.contains("server_z"), "{err}");
+}
+
+#[test]
+fn scenarios_check_cli_gates_drift() {
+    let exe = env!("CARGO_BIN_EXE_repro");
+    let dir = std::env::temp_dir().join(format!("repro-scenarios-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let check = |file: &std::path::Path| {
+        std::process::Command::new(exe)
+            .args(["scenarios", "--check", "--file"])
+            .arg(file)
+            .output()
+            .expect("repro runs")
+            .status
+            .code()
+    };
+
+    // A freshly rendered catalog passes the gate.
+    let fresh = ugache_bench::catalog::render_markdown(ugache_bench::scenario::registry());
+    let ok = dir.join("SCENARIOS.md");
+    std::fs::write(&ok, &fresh).unwrap();
+    assert_eq!(check(&ok), Some(0));
+    // Any drift (here: a vandalized row) is a gate failure, exit 1.
+    let drifted = dir.join("drifted.md");
+    std::fs::write(&drifted, fresh.replace("`ugache`", "`lru`")).unwrap();
+    assert_eq!(check(&drifted), Some(1));
+    // An unreadable catalog is a usage/IO error, exit 2.
+    assert_eq!(check(&dir.join("missing.md")), Some(2));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn record_and_replay_cli_round_trip_end_to_end() {
+    let exe = env!("CARGO_BIN_EXE_repro");
+    let dir = std::env::temp_dir().join(format!("repro-trace-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Unknown scenario name: usage error, exit 2.
+    let out = std::process::Command::new(exe)
+        .args(["record", "dlr/nope@server_a", "--out"])
+        .arg(dir.join("x.trace"))
+        .output()
+        .expect("repro runs");
+    assert_eq!(out.status.code(), Some(2));
+
+    // Recording twice produces byte-identical traces.
+    let t1 = dir.join("a.trace");
+    let t2 = dir.join("b.trace");
+    for t in [&t1, &t2] {
+        let out = std::process::Command::new(exe)
+            .args(["record", "dlr/cr@server_a", "--iters=1", "--out"])
+            .arg(t)
+            .output()
+            .expect("repro runs");
+        assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    }
+    let bytes = std::fs::read(&t1).unwrap();
+    assert_eq!(
+        bytes,
+        std::fs::read(&t2).unwrap(),
+        "record is deterministic"
+    );
+
+    // Replaying the trace writes a report and exits 0.
+    let report = dir.join("rep.json");
+    let out = std::process::Command::new(exe)
+        .arg("replay")
+        .arg(&t1)
+        .args(["--policy", "hps", "--out"])
+        .arg(&report)
+        .output()
+        .expect("repro runs");
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    let text = std::fs::read_to_string(&report).unwrap();
+    let v = json::parse(&text).expect("report parses");
+    assert_eq!(
+        v.get("kind").unwrap(),
+        &json::Value::Str("ugache-replay".to_string())
+    );
+    assert_eq!(
+        v.get("scenario").unwrap(),
+        &json::Value::Str("dlr/cr@server_a".to_string())
+    );
+
+    // A corrupt trace is unusable input: exit 3.
+    let mut corrupt = bytes;
+    corrupt[0] = b'X';
+    let bad = dir.join("bad.trace");
+    std::fs::write(&bad, corrupt).unwrap();
+    let out = std::process::Command::new(exe)
+        .arg("replay")
+        .arg(&bad)
+        .output()
+        .expect("repro runs");
+    assert_eq!(out.status.code(), Some(3));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn check_dir_schema_refuses_stale_artifacts() {
     let s = tiny();
     let dir = std::env::temp_dir().join(format!("repro-schema-test-{}", std::process::id()));

@@ -1,0 +1,124 @@
+//! Scale and batch knobs for a harness run (the former
+//! `ugache_bench::scenario::Scenario`, verbatim — field order is part
+//! of the artifact byte format).
+
+use cache_policy::Hotness;
+use emb_workload::dlr::DlrHotness;
+use emb_workload::{
+    dlr_preset, gnn_preset, DlrDatasetId, DlrWorkload, GnnDatasetId, GnnModel, GnnWorkload,
+};
+use gpu_platform::Platform;
+use serde::Serialize;
+
+/// Workspace-wide RNG seed for the harness.
+pub const SEED: u64 = 0x5EED;
+
+/// Scale and batch knobs for a harness run.
+///
+/// `quick()` keeps every figure under a few seconds of wall time on a
+/// laptop core; `full()` uses larger domains for smoother curves.
+///
+/// Field order is load-bearing: the struct serializes into every
+/// artifact's `scenario` block and the `--trace` header, which must
+/// stay byte-identical across refactors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Scenario {
+    /// Divisor applied to paper-scale GNN vertex counts.
+    pub gnn_scale: usize,
+    /// Divisor applied to paper-scale DLR table sizes.
+    pub dlr_scale: usize,
+    /// GNN seeds per GPU per iteration.
+    pub gnn_batch: usize,
+    /// DLR requests per GPU per iteration.
+    pub dlr_batch: usize,
+    /// Iterations measured per data point.
+    pub iters: usize,
+    /// Simulated client population of the serving sweep.
+    pub serve_users: usize,
+    /// Requests served per offered-load level of the serving sweep.
+    pub serve_requests: usize,
+}
+
+impl Scenario {
+    /// Fast settings for CI and the default `repro` run.
+    pub fn quick() -> Self {
+        Scenario {
+            gnn_scale: 4096,
+            dlr_scale: 8192,
+            gnn_batch: 512,
+            dlr_batch: 512,
+            iters: 2,
+            serve_users: 200_000,
+            serve_requests: 160,
+        }
+    }
+
+    /// Larger settings for smoother series.
+    pub fn full() -> Self {
+        Scenario {
+            gnn_scale: 1024,
+            dlr_scale: 2048,
+            gnn_batch: 1024,
+            dlr_batch: 1024,
+            iters: 3,
+            serve_users: 2_000_000,
+            serve_requests: 512,
+        }
+    }
+
+    /// The three testbeds of §8.1, resolved through the registry's
+    /// platform table ([`crate::PlatformId`]).
+    pub fn servers() -> [Platform; 3] {
+        [
+            crate::PlatformId::ServerA.resolve(),
+            crate::PlatformId::ServerB.resolve(),
+            crate::PlatformId::ServerC.resolve(),
+        ]
+    }
+
+    /// Builds a GNN workload plus profiled hotness.
+    pub fn gnn(
+        &self,
+        id: GnnDatasetId,
+        model: GnnModel,
+        platform: &Platform,
+    ) -> (GnnWorkload, Hotness) {
+        let d = gnn_preset(id, self.gnn_scale, SEED);
+        let mut w = GnnWorkload::new(d, model, self.gnn_batch, platform.num_gpus(), SEED);
+        let h = w.profile_hotness(2);
+        (w, h)
+    }
+
+    /// Builds a DLR workload plus analytic hotness.
+    pub fn dlr(&self, id: DlrDatasetId, platform: &Platform) -> (DlrWorkload, Hotness) {
+        let d = dlr_preset(id, self.dlr_scale);
+        let mut w = DlrWorkload::new(d, self.dlr_batch, platform.num_gpus(), SEED);
+        let h = w.hotness(DlrHotness::Analytic);
+        (w, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scenario_builds_workloads() {
+        let s = Scenario::quick();
+        let plat = Platform::server_a();
+        let (mut w, h) = s.gnn(GnnDatasetId::Pa, GnnModel::GraphSageSupervised, &plat);
+        assert!(h.total() > 0.0);
+        assert_eq!(w.next_batch().len(), 4);
+        let (mut d, hd) = s.dlr(DlrDatasetId::SynA, &plat);
+        assert!(hd.total() > 0.0);
+        assert_eq!(d.next_batch().len(), 4);
+    }
+
+    #[test]
+    fn servers_match_direct_construction() {
+        let [a, b, c] = Scenario::servers();
+        assert_eq!(a.num_gpus(), Platform::server_a().num_gpus());
+        assert_eq!(b.num_gpus(), Platform::server_b().num_gpus());
+        assert_eq!(c.num_gpus(), Platform::server_c().num_gpus());
+    }
+}

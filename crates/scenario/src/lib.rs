@@ -1,0 +1,29 @@
+//! The scenario registry: every workload the harness measures, named.
+//!
+//! A *scenario* is one composable point in (workload × platform ×
+//! policy × schedule) space. The registry ([`registry`]) names each one
+//! behind a single lookup API so figure modules, the serving sweep, and
+//! the `record`/`replay` trace tooling all resolve the *same*
+//! construction instead of repeating inline literals. Names follow the
+//! scheme documented in EXPERIMENTS.md ("The registry and its naming
+//! scheme"):
+//!
+//! ```text
+//! <family>/<dataset>[/<model>]@<platform>
+//! ```
+//!
+//! e.g. `gnn/pa/sage_sup@server_c`, `dlr/cr@server_a`,
+//! `serve/zipf@server_a`. The committed catalog `SCENARIOS.md` is
+//! generated from the builtin [`Registry`] and CI fails when they drift.
+//!
+//! Scale knobs deliberately stay outside the registry in [`Scenario`]:
+//! a registry entry names a workload-family point; the knobs size the
+//! generated instance (`--full`, `--gnn-scale`, …).
+
+#![deny(missing_docs)]
+
+mod knobs;
+mod registry;
+
+pub use knobs::{Scenario, SEED};
+pub use registry::{registry, PlatformId, PolicyId, Registry, ScenarioDef, WorkloadSpec};

@@ -1,0 +1,521 @@
+//! The registry proper: platform/policy identifiers, scenario
+//! definitions, and the builtin catalog.
+
+use crate::knobs::{Scenario, SEED};
+use cache_policy::Hotness;
+use emb_workload::{DlrDatasetId, DlrWorkload, GnnDatasetId, GnnModel, GnnWorkload};
+use gpu_platform::{GpuSpec, Platform};
+use std::sync::OnceLock;
+
+/// The platforms scenarios run on, resolvable by registry name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlatformId {
+    /// `server_a` — 4×V100-16GB, partially connected NVLink (§8.1).
+    ServerA,
+    /// `server_b` — 8×V100-32GB DGX-1 (§8.1).
+    ServerB,
+    /// `server_c` — 8×A100-80GB over NVSwitch (§8.1).
+    ServerC,
+    /// `a100_80` — the single A100-80GB of Table 1.
+    SingleA100,
+}
+
+impl PlatformId {
+    /// Every platform, in registry order.
+    pub const ALL: [PlatformId; 4] = [
+        PlatformId::ServerA,
+        PlatformId::ServerB,
+        PlatformId::ServerC,
+        PlatformId::SingleA100,
+    ];
+
+    /// The three multi-GPU testbeds of §8.1, in figure order.
+    pub const SERVERS: [PlatformId; 3] = [
+        PlatformId::ServerA,
+        PlatformId::ServerB,
+        PlatformId::ServerC,
+    ];
+
+    /// The registry name (`server_a`, `server_b`, `server_c`,
+    /// `a100_80`).
+    pub fn name(self) -> &'static str {
+        match self {
+            PlatformId::ServerA => "server_a",
+            PlatformId::ServerB => "server_b",
+            PlatformId::ServerC => "server_c",
+            PlatformId::SingleA100 => "a100_80",
+        }
+    }
+
+    /// Parses a registry name back to the identifier.
+    pub fn parse(name: &str) -> Option<PlatformId> {
+        PlatformId::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    /// Builds the platform, exactly as the figure modules did before
+    /// the registry existed (byte-identical downstream results).
+    pub fn resolve(self) -> Platform {
+        match self {
+            PlatformId::ServerA => Platform::server_a(),
+            PlatformId::ServerB => Platform::server_b(),
+            PlatformId::ServerC => Platform::server_c(),
+            PlatformId::SingleA100 => Platform::single(GpuSpec::a100(80), 1 << 40),
+        }
+    }
+
+    /// The platform's GPU count (without building link tables).
+    pub fn num_gpus(self) -> usize {
+        match self {
+            PlatformId::ServerA => 4,
+            PlatformId::ServerB | PlatformId::ServerC => 8,
+            PlatformId::SingleA100 => 1,
+        }
+    }
+}
+
+/// The cache policies / systems a scenario can be replayed under.
+///
+/// Mirrors `ugache::baselines::SystemKind` by name; the mapping lives
+/// in the bench crate so this crate stays free of the simulator stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyId {
+    /// This paper's system (solver placement + factored extraction).
+    UGache,
+    /// GNNLab-style replication cache.
+    GnnLab,
+    /// WholeGraph: strict partition, peer access.
+    WholeGraph,
+    /// PartU: partition with CPU fallback and clique support.
+    PartU,
+    /// RepU: replication on PartU's codebase.
+    RepU,
+    /// Quiver-style clique partition.
+    Quiver,
+    /// HPS: replication + LRU online-eviction overhead.
+    Hps,
+    /// SOK: partition + message-based extraction.
+    Sok,
+}
+
+impl PolicyId {
+    /// Every policy, in paper order.
+    pub const ALL: [PolicyId; 8] = [
+        PolicyId::UGache,
+        PolicyId::GnnLab,
+        PolicyId::WholeGraph,
+        PolicyId::PartU,
+        PolicyId::RepU,
+        PolicyId::Quiver,
+        PolicyId::Hps,
+        PolicyId::Sok,
+    ];
+
+    /// The registry name (lowercase, e.g. `ugache`, `partu`).
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyId::UGache => "ugache",
+            PolicyId::GnnLab => "gnnlab",
+            PolicyId::WholeGraph => "wholegraph",
+            PolicyId::PartU => "partu",
+            PolicyId::RepU => "repu",
+            PolicyId::Quiver => "quiver",
+            PolicyId::Hps => "hps",
+            PolicyId::Sok => "sok",
+        }
+    }
+
+    /// Parses a registry name back to the identifier.
+    pub fn parse(name: &str) -> Option<PolicyId> {
+        PolicyId::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+/// The workload family a scenario generates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadSpec {
+    /// GNN training batch stream (k-hop sampled unique keys per GPU).
+    Gnn {
+        /// Graph dataset preset.
+        dataset: GnnDatasetId,
+        /// Model (sampler fan-out + MLP depth).
+        model: GnnModel,
+    },
+    /// DLR inference request stream (deduplicated multi-table keys).
+    Dlr {
+        /// Table-layout preset.
+        dataset: DlrDatasetId,
+    },
+    /// The online serving sweep's Zipfian client population.
+    ServeZipf,
+}
+
+/// Lowercase dataset slug used in scenario names.
+fn gnn_slug(d: GnnDatasetId) -> &'static str {
+    match d {
+        GnnDatasetId::Pa => "pa",
+        GnnDatasetId::Cf => "cf",
+        GnnDatasetId::Mag => "mag",
+    }
+}
+
+/// Lowercase dataset slug used in scenario names.
+fn dlr_slug(d: DlrDatasetId) -> &'static str {
+    match d {
+        DlrDatasetId::Cr => "cr",
+        DlrDatasetId::SynA => "syn_a",
+        DlrDatasetId::SynB => "syn_b",
+    }
+}
+
+/// Lowercase model slug used in scenario names.
+fn model_slug(m: GnnModel) -> &'static str {
+    match m {
+        GnnModel::Gcn => "gcn",
+        GnnModel::GraphSageSupervised => "sage_sup",
+        GnnModel::GraphSageUnsupervised => "sage_unsup",
+    }
+}
+
+impl WorkloadSpec {
+    /// The scenario name this workload gets on `platform`
+    /// (`<family>/<dataset>[/<model>]@<platform>`).
+    pub fn scenario_name(self, platform: PlatformId) -> String {
+        match self {
+            WorkloadSpec::Gnn { dataset, model } => format!(
+                "gnn/{}/{}@{}",
+                gnn_slug(dataset),
+                model_slug(model),
+                platform.name()
+            ),
+            WorkloadSpec::Dlr { dataset } => {
+                format!("dlr/{}@{}", dlr_slug(dataset), platform.name())
+            }
+            WorkloadSpec::ServeZipf => format!("serve/zipf@{}", platform.name()),
+        }
+    }
+
+    /// Human-readable workload label for the catalog (paper display
+    /// names).
+    pub fn label(self) -> String {
+        match self {
+            WorkloadSpec::Gnn { dataset, model } => {
+                format!("GNN {} / {}", model.name(), dataset.name())
+            }
+            WorkloadSpec::Dlr { dataset } => format!("DLR {}", dataset.name()),
+            WorkloadSpec::ServeZipf => "Serving Zipf clients".to_string(),
+        }
+    }
+}
+
+/// One registered scenario: a named workload × platform point with the
+/// default replay policy and the root seed its streams split from.
+#[derive(Debug, Clone)]
+pub struct ScenarioDef {
+    /// Unique name (`<family>/<dataset>[/<model>]@<platform>`).
+    pub name: String,
+    /// The workload family point.
+    pub workload: WorkloadSpec,
+    /// The platform the workload is sized for.
+    pub platform: PlatformId,
+    /// Default (reference) policy `replay` uses for this scenario.
+    /// Figures sweep several policies over the same stream.
+    pub policy: PolicyId,
+    /// Root seed of every stream the generator draws.
+    pub seed: u64,
+    /// CLI targets that consume this scenario (catalog metadata).
+    pub consumers: Vec<&'static str>,
+}
+
+impl ScenarioDef {
+    /// Builds the platform.
+    pub fn resolve_platform(&self) -> Platform {
+        self.platform.resolve()
+    }
+
+    /// Builds the GNN workload plus profiled hotness, exactly as
+    /// [`Scenario::gnn`] does (the construction figures used inline
+    /// before the registry existed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this scenario's workload is not [`WorkloadSpec::Gnn`].
+    pub fn gnn(&self, knobs: &Scenario) -> (GnnWorkload, Hotness) {
+        let WorkloadSpec::Gnn { dataset, model } = self.workload else {
+            panic!("scenario `{}` is not a GNN workload", self.name);
+        };
+        knobs.gnn(dataset, model, &self.resolve_platform())
+    }
+
+    /// Builds the DLR workload plus analytic hotness, exactly as
+    /// [`Scenario::dlr`] does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this scenario's workload is not [`WorkloadSpec::Dlr`].
+    pub fn dlr(&self, knobs: &Scenario) -> (DlrWorkload, Hotness) {
+        let WorkloadSpec::Dlr { dataset } = self.workload else {
+            panic!("scenario `{}` is not a DLR workload", self.name);
+        };
+        knobs.dlr(dataset, &self.resolve_platform())
+    }
+}
+
+/// A validated, collision-free set of scenario definitions.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    defs: Vec<ScenarioDef>,
+}
+
+impl Registry {
+    /// Builds a registry, rejecting duplicate names.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first colliding scenario name.
+    pub fn new(defs: Vec<ScenarioDef>) -> Result<Registry, String> {
+        let mut seen = std::collections::HashSet::new();
+        for d in &defs {
+            if !seen.insert(d.name.clone()) {
+                return Err(format!("duplicate scenario name `{}` in registry", d.name));
+            }
+        }
+        Ok(Registry { defs })
+    }
+
+    /// Every definition, in catalog order.
+    pub fn defs(&self) -> &[ScenarioDef] {
+        &self.defs
+    }
+
+    /// Looks a scenario up by name.
+    pub fn get(&self, name: &str) -> Option<&ScenarioDef> {
+        self.defs.iter().find(|d| d.name == name)
+    }
+
+    /// Typed lookup for a GNN scenario.
+    pub fn gnn_def(
+        &self,
+        dataset: GnnDatasetId,
+        model: GnnModel,
+        platform: PlatformId,
+    ) -> Option<&ScenarioDef> {
+        self.get(&WorkloadSpec::Gnn { dataset, model }.scenario_name(platform))
+    }
+
+    /// Typed lookup for a DLR scenario.
+    pub fn dlr_def(&self, dataset: DlrDatasetId, platform: PlatformId) -> Option<&ScenarioDef> {
+        self.get(&WorkloadSpec::Dlr { dataset }.scenario_name(platform))
+    }
+
+    /// The serving scenario.
+    pub fn serve_def(&self) -> Option<&ScenarioDef> {
+        self.get(&WorkloadSpec::ServeZipf.scenario_name(PlatformId::ServerA))
+    }
+}
+
+/// CLI targets consuming a GNN scenario (kept next to the catalog so
+/// `repro scenarios --check` pins it against SCENARIOS.md).
+fn gnn_consumers(d: GnnDatasetId, m: GnnModel, p: PlatformId) -> Vec<&'static str> {
+    use GnnDatasetId as D;
+    use GnnModel as M;
+    let mut c: Vec<&'static str> = Vec::new();
+    if p == PlatformId::ServerC && d == D::Pa && m == M::GraphSageSupervised {
+        c.extend(["fig2", "fig9"]);
+    }
+    c.extend(["fig10", "fig11"]);
+    if p == PlatformId::ServerC {
+        if m == M::GraphSageSupervised && (d == D::Pa || d == D::Cf) {
+            c.push("fig12");
+        }
+        if m == M::Gcn && (d == D::Cf || d == D::Mag) {
+            c.push("fig13");
+        }
+        if m == M::GraphSageSupervised && (d == D::Pa || d == D::Cf) {
+            c.push("fig14");
+        }
+        // fig16 measures PA at every scale and adds CF/MAG at
+        // gnn_scale <= 1024 (see SCENARIOS.md note).
+        c.push("fig16");
+        if d == D::Pa && m == M::GraphSageSupervised {
+            c.push("hotness");
+        }
+    }
+    c
+}
+
+/// CLI targets consuming a DLR scenario.
+fn dlr_consumers(d: DlrDatasetId, p: PlatformId) -> Vec<&'static str> {
+    use DlrDatasetId as D;
+    let mut c: Vec<&'static str> = Vec::new();
+    if (p == PlatformId::ServerA || p == PlatformId::ServerC) && (d == D::Cr || d == D::SynA) {
+        c.push("fig4");
+    }
+    c.extend(["fig10", "fig11"]);
+    if p == PlatformId::ServerC && (d == D::Cr || d == D::SynA) {
+        c.push("fig13");
+    }
+    if p == PlatformId::ServerA || (p == PlatformId::ServerB && (d == D::SynA || d == D::SynB)) {
+        c.push("fig16");
+    }
+    if p == PlatformId::ServerC && d == D::Cr {
+        c.push("fig17");
+    }
+    c
+}
+
+/// Builds the builtin catalog: every workload × platform point the
+/// harness measures, in catalog order (GNN on the three servers, the
+/// Table 1 single-GPU GNN, DLR on the three servers, serving).
+fn builtin_defs() -> Vec<ScenarioDef> {
+    let mut defs = Vec::new();
+    let gnn_datasets = [GnnDatasetId::Pa, GnnDatasetId::Cf, GnnDatasetId::Mag];
+    for p in PlatformId::SERVERS {
+        for d in gnn_datasets {
+            for m in GnnModel::ALL {
+                let workload = WorkloadSpec::Gnn {
+                    dataset: d,
+                    model: m,
+                };
+                defs.push(ScenarioDef {
+                    name: workload.scenario_name(p),
+                    workload,
+                    platform: p,
+                    policy: PolicyId::UGache,
+                    seed: SEED,
+                    consumers: gnn_consumers(d, m, p),
+                });
+            }
+        }
+    }
+    let table1 = WorkloadSpec::Gnn {
+        dataset: GnnDatasetId::Mag,
+        model: GnnModel::GraphSageUnsupervised,
+    };
+    defs.push(ScenarioDef {
+        name: table1.scenario_name(PlatformId::SingleA100),
+        workload: table1,
+        platform: PlatformId::SingleA100,
+        policy: PolicyId::GnnLab,
+        seed: SEED,
+        consumers: vec!["table1"],
+    });
+    let dlr_datasets = [DlrDatasetId::Cr, DlrDatasetId::SynA, DlrDatasetId::SynB];
+    for p in PlatformId::SERVERS {
+        for d in dlr_datasets {
+            let workload = WorkloadSpec::Dlr { dataset: d };
+            defs.push(ScenarioDef {
+                name: workload.scenario_name(p),
+                workload,
+                platform: p,
+                policy: PolicyId::UGache,
+                seed: SEED,
+                consumers: dlr_consumers(d, p),
+            });
+        }
+    }
+    defs.push(ScenarioDef {
+        name: WorkloadSpec::ServeZipf.scenario_name(PlatformId::ServerA),
+        workload: WorkloadSpec::ServeZipf,
+        platform: PlatformId::ServerA,
+        policy: PolicyId::UGache,
+        seed: SEED,
+        consumers: vec!["serve"],
+    });
+    defs
+}
+
+/// The builtin scenario registry (built once, collision-checked).
+///
+/// # Panics
+///
+/// Panics if the builtin catalog contains a duplicate name — a bug
+/// caught at first use (and by the crate's tests).
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| Registry::new(builtin_defs()).expect("builtin catalog is collision-free"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_is_collision_free_and_complete() {
+        let r = registry();
+        // 27 GNN on servers + 1 Table 1 GNN + 9 DLR + 1 serve.
+        assert_eq!(r.defs().len(), 38);
+        for d in r.defs() {
+            assert_eq!(d.name, d.workload.scenario_name(d.platform));
+            assert!(!d.consumers.is_empty(), "{} has no consumers", d.name);
+        }
+    }
+
+    #[test]
+    fn lookups_resolve_expected_names() {
+        let r = registry();
+        assert!(r.get("gnn/pa/sage_sup@server_c").is_some());
+        assert!(r.get("dlr/syn_a@server_b").is_some());
+        assert!(r.get("gnn/mag/sage_unsup@a100_80").is_some());
+        assert_eq!(r.serve_def().unwrap().name, "serve/zipf@server_a");
+        assert!(r.get("gnn/pa/sage_sup@server_z").is_none());
+        let d = r
+            .gnn_def(
+                GnnDatasetId::Pa,
+                GnnModel::GraphSageSupervised,
+                PlatformId::ServerC,
+            )
+            .unwrap();
+        assert!(d.consumers.contains(&"fig2"));
+        assert!(d.consumers.contains(&"hotness"));
+    }
+
+    #[test]
+    fn collisions_are_rejected() {
+        let mut defs = builtin_defs();
+        let dup = defs[0].clone();
+        defs.push(dup);
+        let err = Registry::new(defs).unwrap_err();
+        assert!(err.contains("duplicate scenario name"), "{err}");
+    }
+
+    #[test]
+    fn platform_and_policy_names_round_trip() {
+        for p in PlatformId::ALL {
+            assert_eq!(PlatformId::parse(p.name()), Some(p));
+            assert_eq!(p.resolve().num_gpus(), p.num_gpus());
+        }
+        for p in PolicyId::ALL {
+            assert_eq!(PolicyId::parse(p.name()), Some(p));
+        }
+        assert_eq!(PlatformId::parse("server_z"), None);
+        assert_eq!(PolicyId::parse("lru"), None);
+    }
+
+    #[test]
+    fn def_builders_match_knob_builders() {
+        let knobs = Scenario {
+            gnn_scale: 16_384,
+            dlr_scale: 65_536,
+            gnn_batch: 64,
+            dlr_batch: 64,
+            iters: 1,
+            serve_users: 10_000,
+            serve_requests: 8,
+        };
+        let r = registry();
+        let def = r.dlr_def(DlrDatasetId::SynA, PlatformId::ServerA).unwrap();
+        let (mut a, ha) = def.dlr(&knobs);
+        let (mut b, hb) = knobs.dlr(DlrDatasetId::SynA, &Platform::server_a());
+        assert_eq!(a.next_batch(), b.next_batch());
+        assert_eq!(ha.ranking(), hb.ranking());
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a GNN workload")]
+    fn gnn_builder_rejects_dlr_defs() {
+        let r = registry();
+        let def = r.dlr_def(DlrDatasetId::Cr, PlatformId::ServerA).unwrap();
+        let _ = def.gnn(&Scenario::quick());
+    }
+}

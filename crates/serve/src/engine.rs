@@ -155,11 +155,32 @@ pub fn estimate_capacity_rps(
     capacity
 }
 
+/// Draws the `cfg.requests` per-request key lists that
+/// [`run_load_point`] would serve at load point `point`.
+///
+/// This is the record/replay seam: recording a serving trace captures
+/// exactly this stream, and [`run_load_point_with_keys`] consumes it
+/// (or a decoded trace) without drawing any randomness of its own. The
+/// draws are prefix-stable — requesting fewer keys yields a prefix of
+/// the longer stream.
+pub fn draw_request_keys(
+    cfg: &ServeConfig,
+    clients: &mut ClientPopulation,
+    point: u64,
+) -> Vec<Vec<u32>> {
+    let mut user_rng = seed_rng(split_seed(cfg.seed, USER_PICK_STREAM ^ point));
+    (0..cfg.requests)
+        .map(|_| clients.next_request(&mut user_rng).keys)
+        .collect()
+}
+
 /// Serves `cfg.requests` requests at `offered_rps` through `u` and
 /// summarizes throughput and latency.
 ///
 /// `point` labels this load level's seed-split streams, so every level
 /// of a sweep draws independent, reproducible arrivals and users.
+/// Equivalent to [`draw_request_keys`] followed by
+/// [`run_load_point_with_keys`].
 ///
 /// Per request, latency decomposes as queueing (arrival until the batch
 /// starts forming) + batching (until dispatch) + extraction (the
@@ -180,18 +201,36 @@ pub fn run_load_point(
     point: u64,
     offered_rps: f64,
 ) -> LoadSample {
+    let request_keys = draw_request_keys(cfg, clients, point);
+    run_load_point_with_keys(u, cfg, point, offered_rps, &request_keys)
+}
+
+/// Serves the given pre-drawn request key lists at `offered_rps`.
+///
+/// The request count is `request_keys.len()` (the arrival process draws
+/// exactly that many arrivals), so replaying a recorded trace serves
+/// exactly the recorded requests. With keys from [`draw_request_keys`]
+/// at the same `point`, this is byte-for-byte [`run_load_point`].
+///
+/// # Panics
+///
+/// Panics if `cfg.max_batch` is zero or a key falls outside the served
+/// table (a `cfg.num_keys` / cache-size mismatch).
+pub fn run_load_point_with_keys(
+    u: &mut UGache,
+    cfg: &ServeConfig,
+    point: u64,
+    offered_rps: f64,
+    request_keys: &[Vec<u32>],
+) -> LoadSample {
     let num_gpus = u.platform().num_gpus();
     let mut arrivals_rng =
         PoissonArrivals::new(split_seed(cfg.seed, ARRIVAL_STREAM ^ point), offered_rps);
-    let mut user_rng = seed_rng(split_seed(cfg.seed, USER_PICK_STREAM ^ point));
-    let arrivals = arrivals_rng.take(cfg.requests);
-    let request_keys: Vec<Vec<u32>> = (0..cfg.requests)
-        .map(|_| clients.next_request(&mut user_rng).keys)
-        .collect();
+    let arrivals = arrivals_rng.take(request_keys.len());
 
     let mut next = 0usize;
     let mut free = SimTime::ZERO;
-    let mut latencies_ns: Vec<u64> = Vec::with_capacity(cfg.requests);
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(request_keys.len());
     let mut queue_ns_total = 0u64;
     let mut batch_wait_ns_total = 0u64;
     let mut extract_ns_total = 0u64;

@@ -45,7 +45,10 @@ mod engine;
 pub use arrivals::PoissonArrivals;
 pub use batch::{next_admission, BatchAdmission};
 pub use clients::{ClientPopulation, Request};
-pub use engine::{estimate_capacity_rps, run_load_point, summarize_latencies, LoadSample};
+pub use engine::{
+    draw_request_keys, estimate_capacity_rps, run_load_point, run_load_point_with_keys,
+    summarize_latencies, LoadSample,
+};
 
 use emb_util::SimTime;
 

@@ -12,14 +12,19 @@
 //!   streams (Criteo-TB-like heterogeneous tables, SYN-A/SYN-B synthetic
 //!   uniform tables);
 //! * [`datasets`] — the six named presets of Table 3 with a configurable
-//!   scale divisor.
+//!   scale divisor;
+//! * [`trace`] — the UGTR access-trace codec: record a generator's
+//!   per-iteration key batches and replay them bitwise (EXPERIMENTS.md,
+//!   "Access-trace format").
 
 #![deny(missing_docs)]
 
 pub mod datasets;
 pub mod dlr;
 pub mod gnn;
+pub mod trace;
 
 pub use datasets::{dlr_preset, gnn_preset, DlrDataset, DlrDatasetId, GnnDataset, GnnDatasetId};
 pub use dlr::DlrWorkload;
 pub use gnn::{GnnModel, GnnWorkload};
+pub use trace::{BatchSource, Trace, TraceError, TRACE_MAGIC, TRACE_VERSION};
