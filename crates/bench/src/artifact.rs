@@ -10,7 +10,8 @@
 //!   "seed": 24301,
 //!   "scenario": { ... },
 //!   "data": <target-specific payload>,
-//!   "metrics": { "counters": { ... }, "gauges": { ... }, "histograms": { ... } },
+//!   "metrics": { "counters": { ... }, "gauges": { ... },
+//!                "histograms": { ... }, "exemplars": { ... } },
 //!   "timeline": { "extent_ns": ..., "tracks": [ ... ] }
 //! }
 //! ```
@@ -42,8 +43,12 @@ use std::path::{Path, PathBuf};
 /// the span-derived `timeline` block and the `repro --chrome-trace` /
 /// `repro compare` surfaces; v4 added the `serve` target (online
 /// serving sweep payload) and the serving knobs (`serve_users`,
-/// `serve_requests`) to every artifact's `scenario` block.
-pub const SCHEMA_VERSION: u64 = 4;
+/// `serve_requests`) to every artifact's `scenario` block; v5 added the
+/// `exemplars` block to `metrics` (deterministic top-K histogram
+/// exemplars with request-id context — the input `repro explain-tail`
+/// reconstructs tail requests from) and the per-request
+/// `serve.latency_ns` histogram.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// The computed result of one repro unit, ready for rendering or
 /// serialization.

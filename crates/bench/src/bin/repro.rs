@@ -11,8 +11,10 @@
 //! repro bench [--trials N] [--warmup N] [--out FILE] [NAME...]
 //! repro check-trace <trace.json>
 //! repro scenarios [--md | --check [--file PATH]]
+//! repro metrics [--md | --check [--file PATH]]
 //! repro record <scenario> --out TRACE [--iters N] [--full] [--threads N]
 //! repro replay TRACE [--policy P] [--platform PL] [--out FILE] [--threads N]
+//! repro explain-tail <serve.json | scenario> [--out FILE] [--full] [--threads N]
 //! repro list
 //! repro all
 //! ```
@@ -45,6 +47,15 @@
 //! stream to a UGTR trace and `repro replay` replays a trace under any
 //! policy on any platform (see EXPERIMENTS.md, "Scenario registry and
 //! access traces", for the wire format and exit codes).
+//! `repro metrics` lists the central metric-name catalog (`--md`
+//! renders the METRICS.md content, `--check` gates the committed file
+//! and the catalog's two-direction coverage against a fresh quick run
+//! of every target). `repro explain-tail` reconstructs the top-K tail
+//! requests of a serve run — from a schema-v5 `serve.json` artifact or
+//! a fresh in-process run of the serving scenario — attributing each
+//! latency exactly across queue/batch-wait/extract-tier, and writes the
+//! deterministic JSON report with `--out` (exit 3 on unusable input;
+//! see EXPERIMENTS.md, "Explaining the latency tail").
 //! `repro bench` times the optimized hot paths against their frozen
 //! reference implementations (wall clock; simulated results are
 //! asserted identical) and writes a `BENCH_*.json` report with `--out`;
@@ -57,9 +68,10 @@ use ugache_bench::artifact::{
 use ugache_bench::cli::{self, Command, RunSpec};
 use ugache_bench::figures::*;
 use ugache_bench::runner::{run_units, units_for, Unit, UnitResult};
-use ugache_bench::scenario::registry;
+use ugache_bench::scenario::{registry, WorkloadSpec};
 use ugache_bench::{
-    catalog, chrome, compare, json, microbench, profile, replay, timeline, Scenario,
+    catalog, chrome, compare, explain, json, metrics_catalog, microbench, profile, replay,
+    timeline, Scenario,
 };
 
 fn main() {
@@ -93,6 +105,11 @@ fn main() {
             );
             println!(
                 "       repro replay TRACE [--policy P] [--platform PL] [--out FILE] [--threads N]"
+            );
+            println!("       repro metrics [--md | --check [--file PATH]]");
+            println!(
+                "       repro explain-tail <serve.json | scenario> [--out FILE] [--full] \
+                 [--threads N]"
             );
         }
         Command::Diff { a, b } => {
@@ -249,6 +266,114 @@ fn main() {
                      (catalog: SCENARIOS.md)",
                     registry().defs().len()
                 );
+            }
+        }
+        Command::Metrics { md, check, file } => {
+            if md {
+                print!("{}", metrics_catalog::render_markdown());
+            } else if check {
+                let committed = match std::fs::read_to_string(&file) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("cannot read {}: {e}", file.display());
+                        std::process::exit(2);
+                    }
+                };
+                if let Err(drift) = metrics_catalog::check_file(&committed) {
+                    eprintln!("{drift}");
+                    std::process::exit(1);
+                }
+                let recorded = metrics_catalog::recorded_names();
+                let drift = metrics_catalog::check_coverage(&recorded);
+                if !drift.is_empty() {
+                    for d in &drift {
+                        eprintln!("{d}");
+                    }
+                    std::process::exit(1);
+                }
+                println!(
+                    "{} matches the catalog; {} recorded names covered",
+                    file.display(),
+                    recorded.len()
+                );
+            } else {
+                for d in metrics_catalog::CATALOG {
+                    println!("{:<36} {:<9} {}", d.name, d.kind.label(), d.description);
+                }
+                println!(
+                    "{} catalogued names (catalog: METRICS.md; `repro metrics --check` \
+                     gates drift against a full quick run)",
+                    metrics_catalog::CATALOG.len()
+                );
+            }
+        }
+        Command::ExplainTail {
+            input,
+            out,
+            knobs,
+            threads,
+        } => {
+            if let Err(msg) = set_pool_width(threads) {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+            let report = if let Some(def) = registry().get(&input) {
+                // Registered scenario: compute the serve target fresh
+                // in-process and read the exemplars off the live
+                // telemetry snapshot.
+                if !matches!(def.workload, WorkloadSpec::ServeZipf) {
+                    eprintln!(
+                        "scenario `{input}` is not the serving scenario; explain-tail \
+                         reconstructs serve runs (see `repro scenarios`)"
+                    );
+                    std::process::exit(2);
+                }
+                let unit = Unit::for_target("serve").expect("serve is a target");
+                let result = unit.compute_with_telemetry(&knobs);
+                match explain::report_from_snapshot(&result.telemetry.metrics) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("explain-tail failed for scenario {input}: {e}");
+                        std::process::exit(3);
+                    }
+                }
+            } else {
+                let text = match std::fs::read_to_string(&input) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!(
+                            "cannot read {input}: {e} (pass a serve artifact or a \
+                             registered scenario name; see `repro scenarios`)"
+                        );
+                        std::process::exit(2);
+                    }
+                };
+                let value = match json::parse(&text) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        // Exit 3: the artifact itself is unusable,
+                        // distinct from exit 2 usage/IO errors.
+                        eprintln!("{input} is not valid JSON: {e}");
+                        std::process::exit(3);
+                    }
+                };
+                match explain::report_from_artifact(&value) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("{input}: {e}");
+                        std::process::exit(3);
+                    }
+                }
+            };
+            explain::render(&report);
+            if let Some(path) = out.as_deref() {
+                match std::fs::write(path, explain::to_json(&report)) {
+                    Ok(()) => println!("wrote {}", path.display()),
+                    Err(e) => {
+                        eprintln!("failed to write explain report {}: {e}", path.display());
+                        std::process::exit(2);
+                    }
+                }
             }
         }
         Command::Record {

@@ -89,6 +89,18 @@ pub enum Command {
         /// Catalog file `--check` reads (default `SCENARIOS.md`).
         file: PathBuf,
     },
+    /// List the metric-name catalog, render it, or gate it against a
+    /// full quick run (`repro metrics [--md | --check [--file PATH]]`).
+    Metrics {
+        /// Print the generated `METRICS.md` content instead of the
+        /// one-line-per-name listing.
+        md: bool,
+        /// Compare the committed catalog against the table and a fresh
+        /// quick run's recorded names (exit 1 on drift).
+        check: bool,
+        /// Catalog file `--check` reads (default `METRICS.md`).
+        file: PathBuf,
+    },
     /// Record a scenario's access stream to a UGTR trace file.
     Record {
         /// Registered scenario name (validated at parse time).
@@ -116,6 +128,22 @@ pub enum Command {
         /// Worker-pool width (`--threads N`; see [`resolve_threads`]).
         threads: Option<usize>,
     },
+    /// Reconstruct the tail requests of a serve run (`repro
+    /// explain-tail <serve-artifact.json | scenario>`).
+    ExplainTail {
+        /// A schema-v5 `serve.json` artifact path, or a registered
+        /// serving scenario name to compute fresh in-process (resolved
+        /// at run time: registry names win over paths).
+        input: String,
+        /// Explain-report output path, if requested (the table renders
+        /// to stdout either way).
+        out: Option<PathBuf>,
+        /// Scenario scale knobs for the in-process path (`--full` /
+        /// explicit overrides; ignored for artifact inputs).
+        knobs: Scenario,
+        /// Worker-pool width (`--threads N`; see [`resolve_threads`]).
+        threads: Option<usize>,
+    },
     /// Compute (and render or serialize) targets.
     Run(RunSpec),
 }
@@ -139,11 +167,16 @@ fn parse_scale(name: &str, value: &str) -> Result<usize, String> {
 /// `profile` set, [`Command::Compare`], [`Command::CheckTrace`], and
 /// [`Command::Bench`] (`--trials N --warmup N --out FILE [NAME...]`).
 /// The scenario-registry subcommands map to [`Command::Scenarios`]
-/// (`scenarios [--md | --check [--file PATH]]`), [`Command::Record`]
+/// (`scenarios [--md | --check [--file PATH]]`), [`Command::Metrics`]
+/// (`metrics [--md | --check [--file PATH]]`), [`Command::Record`]
 /// (`record <scenario> --out TRACE [--iters N]` plus the scale flags;
 /// unknown scenario names are parse errors), and [`Command::Replay`]
 /// (`replay TRACE [--policy P] [--platform PL] [--out FILE]`; unknown
-/// policy/platform names are parse errors).
+/// policy/platform names are parse errors). `explain-tail` maps to
+/// [`Command::ExplainTail`]
+/// (`explain-tail <serve.json | scenario> [--out FILE]` plus the scale
+/// flags; whether the input is a registered scenario or an artifact
+/// path is resolved at run time).
 ///
 /// # Errors
 ///
@@ -276,6 +309,39 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             return Err("`repro scenarios` takes --md or --check, not both".to_string());
         }
         return Ok(Command::Scenarios { md, check, file });
+    }
+    if args.first().map(String::as_str) == Some("metrics") {
+        let rest = &args[1..];
+        let mut md = false;
+        let mut check = false;
+        let mut file = PathBuf::from("METRICS.md");
+        let mut i = 0;
+        while i < rest.len() {
+            let arg = &rest[i];
+            match arg.as_str() {
+                "--md" => md = true,
+                "--check" => check = true,
+                a if a == "--file" || a.starts_with("--file=") => {
+                    let v = if let Some(v) = arg.strip_prefix("--file=") {
+                        v.to_string()
+                    } else {
+                        i += 1;
+                        rest.get(i)
+                            .cloned()
+                            .ok_or_else(|| "--file expects a value".to_string())?
+                    };
+                    file = PathBuf::from(v);
+                }
+                a => {
+                    return Err(format!("unknown argument `{a}` for `repro metrics`"));
+                }
+            }
+            i += 1;
+        }
+        if md && check {
+            return Err("`repro metrics` takes --md or --check, not both".to_string());
+        }
+        return Ok(Command::Metrics { md, check, file });
     }
     if args.first().map(String::as_str) == Some("record") {
         let rest = &args[1..];
@@ -414,6 +480,72 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             policy,
             platform,
             out,
+            threads,
+        });
+    }
+    if args.first().map(String::as_str) == Some("explain-tail") {
+        let rest = &args[1..];
+        let mut full = false;
+        let mut gnn_scale: Option<usize> = None;
+        let mut dlr_scale: Option<usize> = None;
+        let mut out: Option<PathBuf> = None;
+        let mut threads: Option<usize> = None;
+        let mut inputs: Vec<String> = Vec::new();
+        let mut i = 0;
+        while i < rest.len() {
+            let arg = &rest[i];
+            let mut value_of = |name: &str| -> Result<String, String> {
+                if let Some(v) = arg.strip_prefix(&format!("--{name}=")) {
+                    return Ok(v.to_string());
+                }
+                i += 1;
+                rest.get(i)
+                    .cloned()
+                    .ok_or_else(|| format!("--{name} expects a value"))
+            };
+            match arg.as_str() {
+                "--full" => full = true,
+                a if a == "--out" || a.starts_with("--out=") => {
+                    out = Some(PathBuf::from(value_of("out")?));
+                }
+                a if a == "--threads" || a.starts_with("--threads=") => {
+                    threads = Some(parse_scale("threads", &value_of("threads")?)?);
+                }
+                a if a == "--gnn-scale" || a.starts_with("--gnn-scale=") => {
+                    gnn_scale = Some(parse_scale("gnn-scale", &value_of("gnn-scale")?)?);
+                }
+                a if a == "--dlr-scale" || a.starts_with("--dlr-scale=") => {
+                    dlr_scale = Some(parse_scale("dlr-scale", &value_of("dlr-scale")?)?);
+                }
+                a if a.starts_with("--") => {
+                    return Err(format!("unknown flag `{a}` for `repro explain-tail`"));
+                }
+                _ => inputs.push(arg.clone()),
+            }
+            i += 1;
+        }
+        let [input] = inputs.as_slice() else {
+            return Err(
+                "`repro explain-tail` expects exactly one input: a serve artifact \
+                 (serve.json) or a registered serving scenario name"
+                    .to_string(),
+            );
+        };
+        let mut knobs = if full {
+            Scenario::full()
+        } else {
+            Scenario::quick()
+        };
+        if let Some(g) = gnn_scale {
+            knobs.gnn_scale = g;
+        }
+        if let Some(d) = dlr_scale {
+            knobs.dlr_scale = d;
+        }
+        return Ok(Command::ExplainTail {
+            input: input.clone(),
+            out,
+            knobs,
             threads,
         });
     }

@@ -74,13 +74,19 @@ fn collect_numbers(prefix: &str, v: &Value, out: &mut Vec<(String, f64)>) {
 }
 
 /// Comparison points of one parsed artifact: every number under its
-/// `metrics` block plus the timeline extent and per-track occupancy
+/// `metrics` block (except `exemplars` — individual tail observations
+/// are forensic detail, gated by `repro diff` determinism checks rather
+/// than by tolerance) plus the timeline extent and per-track occupancy
 /// (`timeline.tracks.<track>.{spans,busy_ns,utilization}`; the bucket
 /// series is plot detail and not gated).
 fn comparison_points(artifact: &Value) -> Vec<(String, f64)> {
     let mut points = Vec::new();
-    if let Some(metrics) = artifact.get("metrics") {
-        collect_numbers("metrics", metrics, &mut points);
+    if let Some(Value::Obj(blocks)) = artifact.get("metrics") {
+        for (block, v) in blocks {
+            if block != "exemplars" {
+                collect_numbers(&format!("metrics.{block}"), v, &mut points);
+            }
+        }
     }
     if let Some(timeline) = artifact.get("timeline") {
         if let Some(Value::Num(raw)) = timeline.get("extent_ns") {
@@ -261,7 +267,10 @@ mod tests {
         let artifact = json::parse(
             r#"{
               "schema_version": 3,
-              "metrics": {"counters": {"a.b": 2}, "gauges": {}, "histograms": {}},
+              "metrics": {"counters": {"a.b": 2}, "gauges": {}, "histograms": {},
+                          "exemplars": {"serve.latency_ns": [
+                            {"value": 9.0, "req": 3, "fields": {"queue_ns": 4}}
+                          ]}},
               "timeline": {
                 "extent_ns": 100,
                 "tracks": [
@@ -282,5 +291,8 @@ mod tests {
             .any(|(p, v)| p == "timeline.tracks.gpu0.utilization" && *v == 0.5));
         // The bucket series is not gated.
         assert!(!points.iter().any(|(p, _)| p.contains("series")));
+        // Exemplars are forensic detail, not comparison points: a tail
+        // request's exact latency would never fit a 1% tolerance.
+        assert!(!points.iter().any(|(p, _)| p.contains("exemplars")));
     }
 }

@@ -29,8 +29,9 @@ const ALPHA: f64 = 1.05;
 const DIM: usize = 32;
 /// Keys per request.
 const KEYS_PER_REQUEST: usize = 32;
-/// Requests coalesced per extraction at most.
-const MAX_BATCH: usize = 16;
+/// Requests coalesced per extraction at most (public so
+/// `repro explain-tail` can classify tail batches as underfull).
+pub const MAX_BATCH: usize = 16;
 /// Micro-batching window.
 const BATCH_WINDOW: SimTime = SimTime::from_micros(250);
 

@@ -19,8 +19,10 @@ pub mod catalog;
 pub mod chrome;
 pub mod cli;
 pub mod compare;
+pub mod explain;
 pub mod figures;
 pub mod json;
+pub mod metrics_catalog;
 pub mod microbench;
 pub mod profile;
 pub mod replay;

@@ -632,6 +632,99 @@ fn check_dir_schema_refuses_stale_artifacts() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Repo root, for tests that pin committed files (baselines, METRICS.md).
+fn repo_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn explain_tail_golden_report_matches_committed_baseline() {
+    let root = repo_root();
+    let artifact =
+        std::fs::read_to_string(root.join("baselines/quick/serve.json")).expect("baseline serve");
+    let v = json::parse(&artifact).expect("baseline artifact parses");
+    let report = ugache_bench::explain::report_from_artifact(&v).expect("baseline explains");
+    let rendered = ugache_bench::explain::to_json(&report);
+    let golden = std::fs::read_to_string(root.join("baselines/explain_tail_serve.json"))
+        .expect("committed golden report");
+    assert_eq!(
+        rendered, golden,
+        "explain-tail golden drifted; if intentional, regenerate with \
+         `repro explain-tail baselines/quick/serve.json --out baselines/explain_tail_serve.json`"
+    );
+}
+
+#[test]
+fn explain_tail_exit_codes_distinguish_usage_from_unusable_input() {
+    let exe = env!("CARGO_BIN_EXE_repro");
+    let dir = std::env::temp_dir().join(format!("repro-explain-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = |input: &str| {
+        std::process::Command::new(exe)
+            .args(["explain-tail", input])
+            .output()
+            .expect("repro runs")
+            .status
+            .code()
+    };
+
+    // Missing artifact (and not a registered scenario name): usage/IO, exit 2.
+    assert_eq!(run(dir.join("missing.json").to_str().unwrap()), Some(2));
+    // A registered scenario that is not the serving scenario: usage, exit 2.
+    assert_eq!(run("dlr/cr@server_a"), Some(2));
+    // Invalid JSON: unusable input, exit 3.
+    let garbled = dir.join("garbled.json");
+    std::fs::write(&garbled, "{not json").unwrap();
+    assert_eq!(run(garbled.to_str().unwrap()), Some(3));
+    // A pre-exemplar (v4) artifact: unusable input, exit 3 — explain-tail
+    // needs the v5 `exemplars` block.
+    let serve = std::fs::read_to_string(repo_root().join("baselines/quick/serve.json")).unwrap();
+    let stale = dir.join("v4.json");
+    std::fs::write(
+        &stale,
+        serve.replace("\"schema_version\": 5", "\"schema_version\": 4"),
+    )
+    .unwrap();
+    assert_eq!(run(stale.to_str().unwrap()), Some(3));
+    // A non-serve artifact at the current schema: unusable input, exit 3.
+    let fig9 = repo_root().join("baselines/quick/fig9.json");
+    assert_eq!(run(fig9.to_str().unwrap()), Some(3));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metrics_check_cli_gates_drift() {
+    // The committed catalog matches the source of truth (the coverage
+    // half of `repro metrics --check` runs the full quick evaluation and
+    // is exercised by CI's docs job, not here).
+    let committed = std::fs::read_to_string(repo_root().join("METRICS.md")).expect("METRICS.md");
+    ugache_bench::metrics_catalog::check_file(&committed).expect("committed METRICS.md matches");
+
+    let exe = env!("CARGO_BIN_EXE_repro");
+    let dir = std::env::temp_dir().join(format!("repro-metrics-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let check = |file: &std::path::Path| {
+        std::process::Command::new(exe)
+            .args(["metrics", "--check", "--file"])
+            .arg(file)
+            .output()
+            .expect("repro runs")
+            .status
+            .code()
+    };
+    // File drift fails fast (before the coverage run): exit 1.
+    let drifted = dir.join("drifted.md");
+    std::fs::write(&drifted, committed.replace("histogram", "histogrum")).unwrap();
+    assert_eq!(check(&drifted), Some(1));
+    // An unreadable catalog is a usage/IO error, exit 2.
+    assert_eq!(check(&dir.join("missing.md")), Some(2));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn diff_dirs_reports_and_clears() {
     let s = tiny();

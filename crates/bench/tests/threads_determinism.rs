@@ -6,7 +6,7 @@
 
 use ugache_bench::artifact::{trace_line, Artifact};
 use ugache_bench::runner::{run_units, units_for, UnitResult};
-use ugache_bench::{chrome, timeline, Scenario};
+use ugache_bench::{chrome, explain, timeline, Scenario};
 
 fn tiny() -> Scenario {
     Scenario {
@@ -81,6 +81,37 @@ fn artifacts_traces_and_chrome_traces_are_identical_across_thread_counts() {
         assert_eq!(
             baseline.2, chrome,
             "chrome trace diverges at --threads {threads}"
+        );
+    }
+}
+
+/// Exemplar selection is a pure function of the observation multiset, so
+/// the `explain-tail` report — built entirely from exemplars — must come
+/// out byte-identical at every pool width and job count. This is the
+/// report-level analogue of the artifact-bytes test above (whose serve
+/// artifact already embeds the `exemplars` block via the metrics
+/// snapshot).
+#[test]
+fn explain_tail_reports_are_identical_across_thread_counts_and_jobs() {
+    let units = units_for(&["serve".to_string()]);
+    let report_at = |threads: usize, jobs: usize| -> String {
+        let results = emb_util::pool::with_threads(threads, || run_units(&tiny(), &units, jobs));
+        let report = explain::report_from_snapshot(&results[0].telemetry.metrics)
+            .expect("serve snapshot yields a consistent tail report");
+        explain::to_json(&report)
+    };
+    let baseline = report_at(1, 1);
+    // The report reconstructs the full top-K (48 requests >= K = 8).
+    let v = ugache_bench::json::parse(&baseline).unwrap();
+    assert_eq!(
+        v.get("summary").unwrap().get("requests").unwrap(),
+        &ugache_bench::json::Value::Num(emb_telemetry::EXEMPLAR_K.to_string())
+    );
+    for (threads, jobs) in [(4usize, 1usize), (1, 4), (8, 2)] {
+        assert_eq!(
+            baseline,
+            report_at(threads, jobs),
+            "explain-tail report diverges at --threads {threads} --jobs {jobs}"
         );
     }
 }

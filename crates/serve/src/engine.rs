@@ -89,6 +89,18 @@ pub fn summarize_latencies(latencies_ns: &[u64]) -> LatencySummary {
     }
 }
 
+/// Builds the correlation id for request `index` of load `point`:
+/// `point << 32 | index`.
+///
+/// Every telemetry record the engine emits for one request — the
+/// `serve.request` event, the `serve.latency_ms` / `serve.latency_ns`
+/// exemplars, and the enclosing batch span's `first_req`/`last_req`
+/// fields — carries this id, so a tail observation links back to its
+/// full lifecycle.
+pub fn req_id(point: u64, index: usize) -> emb_telemetry::ReqId {
+    emb_telemetry::ReqId((point << 32) | index as u64)
+}
+
 /// Coalesces the admitted requests' keys into per-GPU shards
 /// (`key % num_gpus`), sorted and deduplicated like every other batch
 /// the cache sees.
@@ -190,6 +202,12 @@ pub fn draw_request_keys(
 /// serving time, records one `serve/batches` span per dispatched batch,
 /// and emits a `serve.load_point` summary event.
 ///
+/// Each request is tagged with a correlation id ([`req_id`]) that links
+/// its `serve.request` decomposition event, its `serve.latency_ms` /
+/// `serve.latency_ns` exemplar context, and its batch's span fields;
+/// `queue_ns + batch_wait_ns + extract_ns == latency_ns` holds exactly
+/// for every request.
+///
 /// # Panics
 ///
 /// Panics if `cfg.max_batch` is zero or a drawn key falls outside the
@@ -265,6 +283,11 @@ pub fn run_load_point_with_keys(
                         "coalesced_keys".to_string(),
                         emb_telemetry::EventValue::U64(coalesced as u64),
                     ),
+                    ("first_req".to_string(), req_id(point, next).into()),
+                    (
+                        "last_req".to_string(),
+                        req_id(point, next + adm.count - 1).into(),
+                    ),
                 ]
             },
         );
@@ -278,8 +301,88 @@ pub fn run_load_point_with_keys(
             batch_wait_ns_total += batch_wait.as_nanos();
             extract_ns_total += makespan.as_nanos();
             latencies_ns.push(latency);
-            emb_telemetry::observe("serve.latency_ms", latency as f64 / 1e6);
+            let req = req_id(point, i);
+            // Context the tail-forensics report (`repro explain-tail`)
+            // reconstructs from: the exact-ns decomposition (the three
+            // components sum to `latency_ns` by construction) plus the
+            // batch's shape and per-tier key counts. Built lazily — the
+            // closure only runs when the observation ranks in the
+            // histogram's top-K.
+            let exemplar_fields = || {
+                vec![
+                    ("point".to_string(), emb_telemetry::EventValue::U64(point)),
+                    (
+                        "offered_rps".to_string(),
+                        emb_telemetry::EventValue::F64(offered_rps),
+                    ),
+                    (
+                        "queue_ns".to_string(),
+                        emb_telemetry::EventValue::U64(queue.as_nanos()),
+                    ),
+                    (
+                        "batch_wait_ns".to_string(),
+                        emb_telemetry::EventValue::U64(batch_wait.as_nanos()),
+                    ),
+                    (
+                        "extract_ns".to_string(),
+                        emb_telemetry::EventValue::U64(makespan.as_nanos()),
+                    ),
+                    (
+                        "latency_ns".to_string(),
+                        emb_telemetry::EventValue::U64(latency),
+                    ),
+                    (
+                        "batch_requests".to_string(),
+                        emb_telemetry::EventValue::U64(adm.count as u64),
+                    ),
+                    (
+                        "batch_keys_local".to_string(),
+                        emb_telemetry::EventValue::F64(tiers[0]),
+                    ),
+                    (
+                        "batch_keys_remote".to_string(),
+                        emb_telemetry::EventValue::F64(tiers[1]),
+                    ),
+                    (
+                        "batch_keys_host".to_string(),
+                        emb_telemetry::EventValue::F64(tiers[2]),
+                    ),
+                ]
+            };
+            emb_telemetry::observe_with_exemplar(
+                "serve.latency_ms",
+                latency as f64 / 1e6,
+                req,
+                exemplar_fields,
+            );
+            emb_telemetry::observe_with_exemplar(
+                "serve.latency_ns",
+                latency as f64,
+                req,
+                exemplar_fields,
+            );
             emb_telemetry::observe("serve.queue_ms", queue.as_nanos() as f64 / 1e6);
+            emb_telemetry::event("serve.request", || {
+                vec![
+                    ("req".to_string(), req.into()),
+                    (
+                        "queue_ns".to_string(),
+                        emb_telemetry::EventValue::U64(queue.as_nanos()),
+                    ),
+                    (
+                        "batch_wait_ns".to_string(),
+                        emb_telemetry::EventValue::U64(batch_wait.as_nanos()),
+                    ),
+                    (
+                        "extract_ns".to_string(),
+                        emb_telemetry::EventValue::U64(makespan.as_nanos()),
+                    ),
+                    (
+                        "latency_ns".to_string(),
+                        emb_telemetry::EventValue::U64(latency),
+                    ),
+                ]
+            });
         }
         emb_telemetry::count("serve.requests", adm.count as f64);
         emb_telemetry::count("serve.batches", 1.0);
@@ -443,6 +546,74 @@ mod tests {
     #[test]
     fn identical_runs_are_identical() {
         assert_eq!(run_once(15_000.0), run_once(15_000.0));
+    }
+
+    #[test]
+    fn request_decomposition_sums_exactly_and_links_by_id() {
+        use emb_telemetry::EventValue;
+        let field = |fields: &[(String, EventValue)], name: &str| -> u64 {
+            match fields.iter().find(|(k, _)| k == name) {
+                Some((_, EventValue::U64(v))) => *v,
+                other => panic!("missing u64 field {name}: {other:?}"),
+            }
+        };
+        let ((), report) = emb_telemetry::collect(|| {
+            run_once(20_000.0);
+        });
+        // Every per-request event carries an exact decomposition.
+        let requests: Vec<_> = report
+            .events
+            .iter()
+            .filter(|e| e.name == "serve.request")
+            .collect();
+        assert_eq!(requests.len(), 64);
+        for (i, e) in requests.iter().enumerate() {
+            assert_eq!(field(&e.fields, "req"), i as u64, "ids are point<<32|i");
+            assert_eq!(
+                field(&e.fields, "queue_ns")
+                    + field(&e.fields, "batch_wait_ns")
+                    + field(&e.fields, "extract_ns"),
+                field(&e.fields, "latency_ns"),
+                "request {i}: components must sum to latency"
+            );
+        }
+        // The ns histogram ranks the same tail as the ms one, and its
+        // exemplar context repeats the identity with value == latency.
+        let exemplars: std::collections::BTreeMap<_, _> = report
+            .metrics
+            .exemplars
+            .iter()
+            .map(|(n, l)| (n.as_str(), l))
+            .collect();
+        let ns = exemplars["serve.latency_ns"];
+        let ms = exemplars["serve.latency_ms"];
+        assert_eq!(ns.len(), emb_telemetry::EXEMPLAR_K);
+        assert_eq!(
+            ns.iter().map(|e| e.req).collect::<Vec<_>>(),
+            ms.iter().map(|e| e.req).collect::<Vec<_>>()
+        );
+        for x in ns {
+            assert_eq!(x.value, field(&x.fields, "latency_ns") as f64);
+            assert_eq!(
+                field(&x.fields, "queue_ns")
+                    + field(&x.fields, "batch_wait_ns")
+                    + field(&x.fields, "extract_ns"),
+                field(&x.fields, "latency_ns")
+            );
+        }
+        // Batch spans bracket their members' ids.
+        let batches: Vec<_> = report
+            .spans
+            .iter()
+            .filter(|s| s.track == "serve/batches")
+            .collect();
+        assert!(!batches.is_empty());
+        let mut expect = 0u64;
+        for b in &batches {
+            assert_eq!(field(&b.fields, "first_req"), expect);
+            expect = field(&b.fields, "last_req") + 1;
+        }
+        assert_eq!(expect, 64, "spans cover every request exactly once");
     }
 
     #[test]

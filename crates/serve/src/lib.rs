@@ -34,6 +34,12 @@
 //! Everything is a pure function of the config's `u64` seed; the bench
 //! harness's `serve` target sweeps offered load through these APIs and
 //! emits the resulting curves as schema'd artifacts.
+//!
+//! Every request additionally carries a correlation id ([`req_id`])
+//! linking its `serve.request` decomposition event, its
+//! `serve.latency_ms` / `serve.latency_ns` histogram exemplars, and its
+//! batch's span fields — the raw material `repro explain-tail` turns
+//! into a tail-latency forensics report.
 
 #![deny(missing_docs)]
 
@@ -46,7 +52,7 @@ pub use arrivals::PoissonArrivals;
 pub use batch::{next_admission, BatchAdmission};
 pub use clients::{ClientPopulation, Request};
 pub use engine::{
-    draw_request_keys, estimate_capacity_rps, run_load_point, run_load_point_with_keys,
+    draw_request_keys, estimate_capacity_rps, req_id, run_load_point, run_load_point_with_keys,
     summarize_latencies, LoadSample,
 };
 

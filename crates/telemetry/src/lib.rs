@@ -68,6 +68,23 @@ impl Serialize for EventValue {
     }
 }
 
+/// A request correlation id linking telemetry records that belong to one
+/// logical request.
+///
+/// The id is an opaque `u64` chosen by the instrumented code (the
+/// serving layer packs `load_point << 32 | request_index`); telemetry
+/// only requires that ids are unique within a scope, which makes the
+/// exemplar tie-break ([`observe_with_exemplar`]) a total order. Attach
+/// one to an [`Event`] or [`Span`] field via `EventValue::from(req)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReqId(pub u64);
+
+impl From<ReqId> for EventValue {
+    fn from(req: ReqId) -> EventValue {
+        EventValue::U64(req.0)
+    }
+}
+
 /// One structured trace event, ordered within its [`collect`] scope.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Event {
@@ -130,6 +147,59 @@ impl SpanId {
     const DISABLED: SpanId = SpanId { scope: 0, idx: 0 };
 }
 
+/// Number of exemplars each histogram retains: the K largest
+/// observations recorded with [`observe_with_exemplar`].
+pub const EXEMPLAR_K: usize = 8;
+
+/// One retained histogram observation with its request linkage.
+///
+/// Exemplars order by value descending, ties broken by ascending
+/// [`ReqId`], so the retained top-[`EXEMPLAR_K`] set is a pure function
+/// of the multiset of `(value, req)` pairs observed — identical no
+/// matter how the observations were chunked across worker scopes and
+/// [`absorb`]ed back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exemplar {
+    /// The observed value (the histogram's unit).
+    pub value: f64,
+    /// Correlation id of the request that produced the observation.
+    pub req: u64,
+    /// Caller-supplied context fields, in the order the recorder listed
+    /// them.
+    pub fields: Vec<(String, EventValue)>,
+}
+
+impl Serialize for Exemplar {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("Exemplar", 3)?;
+        st.serialize_field("value", &self.value)?;
+        st.serialize_field("req", &self.req)?;
+        st.serialize_field("fields", &AsMap(&self.fields))?;
+        st.end()
+    }
+}
+
+/// `true` when exemplar `a` ranks before (is "larger than") `b` in the
+/// retained top-K order: value descending, ties by ascending id.
+fn exemplar_before(a: &Exemplar, b: &Exemplar) -> bool {
+    match a.value.total_cmp(&b.value) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Less => false,
+        std::cmp::Ordering::Equal => a.req < b.req,
+    }
+}
+
+/// Inserts `x` into the rank-ordered exemplar list `list`, keeping at
+/// most [`EXEMPLAR_K`] entries.
+fn exemplar_insert(list: &mut Vec<Exemplar>, x: Exemplar) {
+    let pos = list.partition_point(|e| exemplar_before(e, &x));
+    if pos >= EXEMPLAR_K {
+        return;
+    }
+    list.insert(pos, x);
+    list.truncate(EXEMPLAR_K);
+}
+
 /// Count/sum/min/max digest of every [`observe`] call on one histogram.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct HistogramSummary {
@@ -183,12 +253,20 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<(String, f64)>,
     /// Distribution digests, `(name, summary)`, sorted by name.
     pub histograms: Vec<(String, HistogramSummary)>,
+    /// Retained top-[`EXEMPLAR_K`] observations per histogram recorded
+    /// via [`observe_with_exemplar`], `(name, rank-ordered exemplars)`,
+    /// sorted by name. Histograms observed without exemplars do not
+    /// appear.
+    pub exemplars: Vec<(String, Vec<Exemplar>)>,
 }
 
 impl MetricsSnapshot {
     /// True when no instrument recorded anything in the scope.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.exemplars.is_empty()
     }
 }
 
@@ -208,10 +286,11 @@ impl<V: Serialize> Serialize for AsMap<'_, V> {
 
 impl Serialize for MetricsSnapshot {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut st = serializer.serialize_struct("MetricsSnapshot", 3)?;
+        let mut st = serializer.serialize_struct("MetricsSnapshot", 4)?;
         st.serialize_field("counters", &AsMap(&self.counters))?;
         st.serialize_field("gauges", &AsMap(&self.gauges))?;
         st.serialize_field("histograms", &AsMap(&self.histograms))?;
+        st.serialize_field("exemplars", &AsMap(&self.exemplars))?;
         st.end()
     }
 }
@@ -245,6 +324,7 @@ struct Collector {
     counters: BTreeMap<String, f64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, HistogramSummary>,
+    exemplars: BTreeMap<String, Vec<Exemplar>>,
     events: Vec<Event>,
     spans: Vec<Span>,
     /// Number of spans begun and not yet ended (open spans carry
@@ -283,6 +363,7 @@ impl Collector {
                 counters: self.counters.into_iter().collect(),
                 gauges: self.gauges.into_iter().collect(),
                 histograms: self.histograms.into_iter().collect(),
+                exemplars: self.exemplars.into_iter().collect(),
             },
             events: self.events,
             spans: self.spans,
@@ -392,6 +473,50 @@ pub fn observe(name: &str, value: f64) {
     });
 }
 
+/// Records `value` into the histogram `name` like [`observe`], and
+/// additionally offers it as an exemplar linked to request `req`.
+///
+/// Each histogram keeps its [`EXEMPLAR_K`] largest exemplar
+/// observations (value descending, ties broken by ascending id — see
+/// [`Exemplar`]); `fields` is only invoked when the observation
+/// actually enters the retained set, so context building costs nothing
+/// for non-tail observations — and, like every recorder, the whole call
+/// is a no-op (and allocation-free) when no scope is active.
+pub fn observe_with_exemplar(
+    name: &str,
+    value: f64,
+    req: ReqId,
+    fields: impl FnOnce() -> Vec<(String, EventValue)>,
+) {
+    with_active(|c| {
+        match c.histograms.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                c.histograms
+                    .insert(name.to_string(), HistogramSummary::new(value));
+            }
+        }
+        let list = c.exemplars.entry(name.to_string()).or_default();
+        let candidate = Exemplar {
+            value,
+            req: req.0,
+            fields: Vec::new(),
+        };
+        let pos = list.partition_point(|e| exemplar_before(e, &candidate));
+        if pos >= EXEMPLAR_K {
+            return;
+        }
+        list.insert(
+            pos,
+            Exemplar {
+                fields: fields(),
+                ..candidate
+            },
+        );
+        list.truncate(EXEMPLAR_K);
+    });
+}
+
 /// Appends a trace event named `name` to the active scope; `fields` is
 /// only invoked when a scope is active, so building the payload costs
 /// nothing when telemetry is disabled.
@@ -417,7 +542,10 @@ pub fn event(name: &str, fields: impl FnOnce() -> Vec<(String, EventValue)>) {
 ///
 /// * **Counters** add the child's totals; **gauges** take the child's
 ///   value (last write wins, in absorb order); **histograms** fold the
-///   child's digest in ([`HistogramSummary`] count/sum/min/max).
+///   child's digest in ([`HistogramSummary`] count/sum/min/max) and
+///   re-rank the child's exemplars into the parent's retained top-K
+///   (the rank order is a total order, so the merged set equals the
+///   inline-recorded one regardless of chunking).
 /// * **Events** are appended with fresh sequence numbers continuing the
 ///   parent's stream.
 /// * **Spans** are appended with fresh sequence numbers and rebased onto
@@ -457,6 +585,12 @@ pub fn absorb(child: &Report) {
                 None => {
                     c.histograms.insert(name.clone(), *summary);
                 }
+            }
+        }
+        for (name, child_list) in &child.metrics.exemplars {
+            let list = c.exemplars.entry(name.clone()).or_default();
+            for x in child_list {
+                exemplar_insert(list, x.clone());
             }
         }
         for event in &child.events {
@@ -851,6 +985,86 @@ mod tests {
         );
         assert_eq!(parent.clock_ns, 140);
         assert_eq!(parent.spans[1].seq, 1);
+    }
+
+    #[test]
+    fn exemplars_keep_top_k_by_value_then_id() {
+        let ((), report) = collect(|| {
+            // 2 * EXEMPLAR_K observations, values 0..16, shuffled-ish
+            // record order; only the largest EXEMPLAR_K survive.
+            for i in [3u64, 11, 0, 15, 7, 12, 1, 9, 14, 2, 8, 13, 4, 10, 5, 6] {
+                observe_with_exemplar("h", i as f64, ReqId(i), || {
+                    vec![("i".to_string(), EventValue::U64(i))]
+                });
+            }
+        });
+        let (name, list) = &report.metrics.exemplars[0];
+        assert_eq!(name, "h");
+        assert_eq!(list.len(), EXEMPLAR_K);
+        let values: Vec<f64> = list.iter().map(|e| e.value).collect();
+        assert_eq!(values, vec![15.0, 14.0, 13.0, 12.0, 11.0, 10.0, 9.0, 8.0]);
+        // Retained entries kept their context fields.
+        assert_eq!(list[0].fields, vec![("i".to_string(), EventValue::U64(15))]);
+        // The histogram digest still counts every observation.
+        let (_, h) = &report.metrics.histograms[0];
+        assert_eq!(h.count, 16);
+    }
+
+    #[test]
+    fn exemplar_ties_break_by_ascending_id() {
+        let ((), a) = collect(|| {
+            for req in [5u64, 1, 9, 3, 7, 2, 8, 4, 6, 0] {
+                observe_with_exemplar("h", 1.0, ReqId(req), Vec::new);
+            }
+        });
+        // All values equal: the K smallest ids survive, in id order.
+        let ids: Vec<u64> = a.metrics.exemplars[0].1.iter().map(|e| e.req).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        // Selection is a pure function of the (value, id) multiset:
+        // reversed record order yields the identical report.
+        let ((), b) = collect(|| {
+            for req in [0u64, 6, 4, 8, 2, 7, 3, 9, 1, 5] {
+                observe_with_exemplar("h", 1.0, ReqId(req), Vec::new);
+            }
+        });
+        assert_eq!(a.metrics.exemplars, b.metrics.exemplars);
+    }
+
+    #[test]
+    fn exemplars_merge_through_absorb_like_inline_recording() {
+        let obs: Vec<(f64, u64)> = (0..24)
+            .map(|i| (((i * 13) % 24) as f64 * 0.5, i as u64))
+            .collect();
+        let record = |chunk: &[(f64, u64)]| {
+            for &(v, r) in chunk {
+                observe_with_exemplar("lat", v, ReqId(r), || {
+                    vec![("r".to_string(), EventValue::U64(r))]
+                });
+            }
+        };
+        let ((), inline) = collect(|| record(&obs));
+        for split in [1usize, 3, 7, 24] {
+            let ((), merged) = collect(|| {
+                for chunk in obs.chunks(split) {
+                    let ((), child) = collect(|| record(chunk));
+                    absorb(&child);
+                }
+            });
+            assert_eq!(
+                inline.metrics.exemplars, merged.metrics.exemplars,
+                "split {split}"
+            );
+            assert_eq!(inline.metrics.histograms, merged.metrics.histograms);
+        }
+    }
+
+    #[test]
+    fn exemplar_outside_scope_is_a_noop() {
+        observe_with_exemplar("h", 1.0, ReqId(1), || {
+            vec![("k".to_string(), EventValue::U64(1))]
+        });
+        let ((), report) = collect(|| {});
+        assert!(report.is_empty());
     }
 
     #[test]

@@ -45,6 +45,15 @@ fn disabled_recording_allocates_nothing() {
         emb_telemetry::count("memsim.extractions", 1.0);
         emb_telemetry::gauge("memsim.core_util", 0.5);
         emb_telemetry::observe("policy.lp.residual", 1e-9);
+        emb_telemetry::observe_with_exemplar(
+            "serve.latency_ns",
+            i as f64,
+            emb_telemetry::ReqId(i),
+            || {
+                // Never invoked while disabled — allocating here is fine.
+                vec![("queue_ns".to_string(), emb_telemetry::EventValue::U64(i))]
+            },
+        );
         emb_telemetry::event("memsim.extract", || {
             // Never invoked while disabled — allocating here is fine.
             vec![("bytes".to_string(), emb_telemetry::EventValue::U64(i))]
